@@ -1,0 +1,30 @@
+//! # qnat-autodiff — reverse-mode autodiff substrate for QuantumNAT
+//!
+//! A small tape-based automatic-differentiation engine covering exactly the
+//! classical operations QuantumNAT's training pipeline needs:
+//! element-wise arithmetic, batch statistics for post-measurement
+//! normalization, straight-through quantization, fixed-head matrix
+//! multiplication, softmax cross-entropy and a custom *quantum* node that
+//! splices externally-computed circuit Jacobians (from `qnat-sim`'s adjoint
+//! or parameter-shift engines) into the backward pass.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnat_autodiff::{tape::Tape, tensor::Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::vector(vec![2.0]));
+//! let y = tape.mul(x, x);
+//! let loss = tape.sum(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(x, &tape).data(), &[4.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod tape;
+pub mod tensor;
+
+pub use tape::{Gradients, Tape, Var};
+pub use tensor::Tensor;

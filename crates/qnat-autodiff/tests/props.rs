@@ -1,0 +1,117 @@
+//! Property-based tests for the autodiff tape: gradients of random graphs
+//! match finite differences; quantization invariants.
+
+use proptest::prelude::*;
+use qnat_autodiff::tape::{quantization_centroids, quantize_value, Tape, Var};
+use qnat_autodiff::tensor::Tensor;
+
+/// Builds a random-but-deterministic computation graph parameterized by
+/// three op-selector bytes, ending in a scalar loss.
+fn build_graph(tape: &mut Tape, x: Var, ops: &[u8]) -> Var {
+    let mut cur = x;
+    for &op in ops {
+        cur = match op % 6 {
+            0 => tape.mul(cur, cur),
+            1 => tape.add(cur, x),
+            2 => tape.scale(cur, 0.5),
+            3 => tape.add_scalar(cur, 1.0),
+            4 => {
+                // Keep values positive for sqrt via squaring first.
+                let sq = tape.mul(cur, cur);
+                let sh = tape.add_scalar(sq, 0.1);
+                tape.sqrt(sh)
+            }
+            _ => tape.neg(cur),
+        };
+    }
+    tape.mean(cur)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_graph_gradients_match_finite_difference(
+        data in prop::collection::vec(-2.0f64..2.0, 2..6),
+        ops in prop::collection::vec(0u8..6, 1..5),
+    ) {
+        let input = Tensor::vector(data.clone());
+        let mut tape = Tape::new();
+        let x = tape.input(input.clone());
+        let loss = build_graph(&mut tape, x, &ops);
+        let grads = tape.backward(loss);
+        let gx = grads.get(x, &tape);
+        let eps = 1e-6;
+        for i in 0..data.len() {
+            let eval = |delta: f64| {
+                let mut t = input.clone();
+                t.data_mut()[i] += delta;
+                let mut tape = Tape::new();
+                let x = tape.input(t);
+                let loss = build_graph(&mut tape, x, &ops);
+                tape.value(loss).item()
+            };
+            let fd = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            prop_assert!(
+                (gx.data()[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "element {}: autodiff {} vs fd {}", i, gx.data()[i], fd
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_output_is_standardized(
+        rows in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3), 4..12),
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_rows(&rows));
+        let b = rows.len();
+        let mu = tape.mean_axis0(x);
+        let mub = tape.broadcast0(mu, b);
+        let centered = tape.sub(x, mub);
+        let var = tape.var_axis0(x);
+        let var_eps = tape.add_scalar(var, 1e-9);
+        let sd = tape.sqrt(var_eps);
+        let sdb = tape.broadcast0(sd, b);
+        let norm = tape.div(centered, sdb);
+        let v = tape.value(norm);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..b).map(|i| v.get2(i, j)).collect();
+            let mean = col.iter().sum::<f64>() / b as f64;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent(v in -5.0f64..5.0, levels in 2usize..9) {
+        let q = quantize_value(v, levels, -2.0, 2.0);
+        prop_assert_eq!(quantize_value(q, levels, -2.0, 2.0), q);
+        // Output is one of the centroids.
+        let centroids = quantization_centroids(levels, -2.0, 2.0);
+        prop_assert!(centroids.iter().any(|&c| (c - q).abs() < 1e-12));
+    }
+
+    #[test]
+    fn quantize_error_is_bounded(v in -2.0f64..2.0, levels in 2usize..9) {
+        let q = quantize_value(v, levels, -2.0, 2.0);
+        let step = 4.0 / (levels - 1) as f64;
+        prop_assert!((v - q).abs() <= step / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_rows_sum_to_zero(
+        logits in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 3), 1..6),
+    ) {
+        let labels: Vec<usize> = (0..logits.len()).map(|i| i % 3).collect();
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_rows(&logits));
+        let loss = tape.softmax_cross_entropy(x, &labels);
+        let grads = tape.backward(loss);
+        let g = grads.get(x, &tape);
+        for i in 0..logits.len() {
+            let row_sum: f64 = (0..3).map(|j| g.get2(i, j)).sum();
+            // Softmax gradient rows sum to zero (probabilities − one-hot).
+            prop_assert!(row_sum.abs() < 1e-10);
+        }
+    }
+}

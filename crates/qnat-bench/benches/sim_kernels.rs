@@ -1,0 +1,95 @@
+//! Criterion benches for the simulator kernels: statevector gate
+//! application, density-matrix channel application and shot sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnat_noise::presets;
+use qnat_sim::channel::Channel1;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::density::DensityMatrix;
+use qnat_sim::gate::Gate;
+use qnat_sim::measure::sampled_expect_all_z;
+use qnat_sim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_circuit(n: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for d in 0..depth {
+        for q in 0..n {
+            c.push(Gate::u3(
+                q,
+                0.3 + 0.1 * d as f64,
+                -0.2 + 0.05 * q as f64,
+                0.7,
+            ));
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.push(Gate::cx(q, q + 1));
+        }
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_run");
+    for &n in &[4usize, 8, 12] {
+        let circuit = random_circuit(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut psi = StateVector::zero_state(n);
+                psi.run(&circuit);
+                psi.expect_all_z()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_channel");
+    for &n in &[2usize, 4, 6] {
+        let ch = Channel1::depolarizing(0.01).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rho = DensityMatrix::zero_state(n);
+            rho.apply_gate(&Gate::h(0));
+            b.iter(|| {
+                rho.apply_channel1(0, &ch);
+                rho.trace()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardware_emulator(c: &mut Criterion) {
+    let circuit = random_circuit(4, 2);
+    let emu = qnat_noise::HardwareEmulator::new(presets::yorktown());
+    c.bench_function("hardware_emulator_4q_2layers", |b| {
+        b.iter(|| emu.expect_all_z(&circuit))
+    });
+    let traj = qnat_noise::TrajectoryEmulator::new(presets::yorktown(), 16);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("trajectory_emulator_4q_2layers_16traj", |b| {
+        b.iter(|| traj.expect_all_z(&circuit, &mut rng))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let circuit = random_circuit(4, 2);
+    let mut psi = StateVector::zero_state(4);
+    psi.run(&circuit);
+    let probs = psi.probabilities();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("shot_sampling_8192", |b| {
+        b.iter(|| sampled_expect_all_z(&probs, 4, 8192, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density,
+    bench_hardware_emulator,
+    bench_sampling
+);
+criterion_main!(benches);

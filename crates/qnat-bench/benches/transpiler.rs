@@ -1,0 +1,51 @@
+//! Criterion benches for the transpiler: basis decomposition, routing and
+//! the optimization levels, plus error-gate insertion sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnat_compiler::transpile::{transpile, TranspileOptions};
+use qnat_noise::inject::insert_error_gates;
+use qnat_noise::presets;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_block(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push(Gate::u3(q, 0.2, -0.1, 0.4));
+        }
+        for q in 0..n {
+            c.push(Gate::cu3(q, (q + 1) % n, 0.3, 0.1, -0.2));
+        }
+    }
+    c
+}
+
+fn bench_transpile_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_4q_ring");
+    let circuit = ring_block(4, 2);
+    let model = presets::santiago();
+    for level in 0..=3u8 {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &lv| {
+            b.iter(|| transpile(&circuit, &model, TranspileOptions::level(lv)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_injection(c: &mut Criterion) {
+    let circuit = ring_block(4, 2);
+    let model = presets::yorktown();
+    let lowered = transpile(&circuit, &model, TranspileOptions::default())
+        .unwrap()
+        .circuit;
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("error_gate_insertion", |b| {
+        b.iter(|| insert_error_gates(&lowered, &model, 1.0, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_transpile_levels, bench_error_injection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The Melbourne 10-class cells of Table 1 at a workable data budget
+//! (10-class learning needs more than the tiny smoke config).
+
+use qnat_bench::harness::*;
+use qnat_data::dataset::{Task, TaskConfig};
+use qnat_noise::presets;
+
+fn main() {
+    let cfg = RunConfig {
+        epochs: 25,
+        batch_size: 40,
+        data: TaskConfig {
+            n_train: 160,
+            n_valid: 40,
+            n_test: 64,
+            seed: 11,
+        },
+        t_factor: 0.25,
+        ..RunConfig::default()
+    };
+    let device = presets::melbourne();
+    let arch = ArchSpec::u3cu3(2, 2);
+    let mut rows = Vec::new();
+    for task in [Task::Mnist10, Task::Fashion10] {
+        let mut row = vec![task.name().to_string()];
+        for arm in Arm::all() {
+            let (qnn, ds, _) = train_arm(task, arch, &device, arm, &cfg);
+            let acc = eval_on_hardware(&qnn, &ds, &device, arm, &cfg, 2);
+            row.push(format!("{acc:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 1 cell: ibmq-melbourne (2B×2L) — hardware accuracy",
+        &["task", "Baseline", "+Norm", "+GateInsert", "+Quant"],
+        &rows,
+    );
+}

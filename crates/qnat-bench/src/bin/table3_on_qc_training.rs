@@ -1,0 +1,159 @@
+//! **Table 3** — scalable noise-aware training directly on (emulated)
+//! hardware with the parameter-shift rule.
+//!
+//! The paper's setup: a 2-class task with two input features; the QNN has
+//! two blocks, each with 2 RY gates and a CNOT. The *noise-unaware*
+//! baseline trains classically (exact simulation) and tests on hardware;
+//! QuantumNAT trains with parameter-shift gradients evaluated **on the
+//! noisy hardware**, so the gradients are "naturally noise-aware".
+
+use qnat_bench::harness::print_table;
+use qnat_core::head::{predict, softmax};
+use qnat_core::train::{Adam, AdamConfig};
+use qnat_noise::emulator::HardwareEmulator;
+use qnat_noise::presets;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+use qnat_sim::paramshift::{paramshift_gradients_with, Evaluator, ExactEvaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The toy model: block = RY(x0+θ0) q0, RY(x1+θ1) q1, CX(0,1); two blocks.
+fn toy_circuit(x: &[f64], params: &[f64]) -> Circuit {
+    let mut c = Circuit::new(2);
+    for b in 0..2 {
+        c.push(Gate::ry(0, x[0] * std::f64::consts::PI + params[b * 2]));
+        c.push(Gate::ry(1, x[1] * std::f64::consts::PI + params[b * 2 + 1]));
+        c.push(Gate::cx(0, 1));
+    }
+    c
+}
+
+/// Hardware-backed evaluator: rebinds the circuit's flat gate angles and
+/// measures ⟨Z⟩ on the noisy emulator. The parameter-shift engine shifts
+/// the *bound* angles; since each trainable θ enters one angle with
+/// coefficient 1, the gradients transfer directly.
+struct NoisyEvaluator<'a> {
+    emulator: &'a HardwareEmulator,
+    template: Circuit,
+}
+
+impl Evaluator for NoisyEvaluator<'_> {
+    fn evaluate(&mut self, params: &[f64]) -> Vec<f64> {
+        self.template.set_parameters(params);
+        self.emulator.expect_all_z(&self.template)
+    }
+}
+
+fn dataset(seed: u64, n: usize) -> Vec<(Vec<f64>, usize)> {
+    // Two Gaussian blobs in [0,1]²: class 0 near (0.25, 0.35),
+    // class 1 near (0.7, 0.6).
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let (cx, cy) = if label == 0 { (0.38, 0.46) } else { (0.58, 0.54) };
+            let x = vec![
+                (cx + rng.gen_range(-0.16..0.16f64)).clamp(0.0, 1.0),
+                (cy + rng.gen_range(-0.16..0.16f64)).clamp(0.0, 1.0),
+            ];
+            (x, label)
+        })
+        .collect()
+}
+
+fn loss_and_grad<E: Evaluator>(
+    x: &[f64],
+    label: usize,
+    params: &[f64],
+    make: impl Fn(&[f64]) -> E,
+) -> (f64, Vec<f64>) {
+    let circuit = toy_circuit(x, params);
+    let mut eval = make(x);
+    let r = paramshift_gradients_with(&circuit, 2, &mut eval);
+    // Logits = per-qubit expectations; softmax cross-entropy.
+    let probs = softmax(&r.expectations);
+    let loss = -probs[label].max(1e-12).ln();
+    // dL/dz_q = p_q − 1{q==label}.
+    let mut grads = vec![0.0; params.len()];
+    for q in 0..2 {
+        let dz = probs[q] - if q == label { 1.0 } else { 0.0 };
+        for (j, g) in grads.iter_mut().enumerate() {
+            *g += dz * r.gradients[q][j];
+        }
+    }
+    (loss, grads)
+}
+
+fn accuracy_on_hardware(
+    emulator: &HardwareEmulator,
+    data: &[(Vec<f64>, usize)],
+    params: &[f64],
+) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(x, y)| {
+            let z = emulator.expect_all_z(&toy_circuit(x, params));
+            predict(&z) == *y
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+fn main() {
+    let train_set = dataset(5, 40);
+    let test_set = dataset(99, 60);
+    let epochs = 25;
+    let mut rows = Vec::new();
+    for device in [presets::bogota(), presets::santiago(), presets::lima()] {
+        // Exaggerate the device noise slightly so the toy circuit (only 2
+        // CX) feels it, mirroring the paper's real-hardware conditions.
+        let device = device.scaled(8.0);
+        let emulator = HardwareEmulator::new(device.clone());
+        let mut accs = Vec::new();
+        for noise_aware in [false, true] {
+            let mut params = vec![0.1, -0.2, 0.15, 0.05];
+            let mut adam = Adam::new(
+                AdamConfig {
+                    weight_decay: 0.0,
+                    ..AdamConfig::default()
+                },
+                params.len(),
+            );
+            for _epoch in 0..epochs {
+                let mut grads = vec![0.0; params.len()];
+                let mut _loss = 0.0;
+                for (x, y) in &train_set {
+                    let (l, g) = if noise_aware {
+                        loss_and_grad(x, *y, &params, |x| NoisyEvaluator {
+                            emulator: &emulator,
+                            template: toy_circuit(x, &[0.0; 4]),
+                        })
+                    } else {
+                        loss_and_grad(x, *y, &params, |x| {
+                            ExactEvaluator::new(toy_circuit(x, &[0.0; 4]), vec![0, 1])
+                        })
+                    };
+                    _loss += l;
+                    for (a, b) in grads.iter_mut().zip(&g) {
+                        *a += b / train_set.len() as f64;
+                    }
+                }
+                adam.step(&mut params, &grads, 0.08);
+            }
+            accs.push(accuracy_on_hardware(&emulator, &test_set, &params));
+        }
+        rows.push(vec![
+            device.name().to_string(),
+            format!("{:.2}", accs[0]),
+            format!("{:.2}", accs[1]),
+        ]);
+    }
+    print_table(
+        "Table 3: parameter-shift training on noisy hardware (2-feature task)",
+        &["machine", "noise-unaware", "QuantumNAT (train on QC)"],
+        &rows,
+    );
+    println!("\nExpected shape (paper Table 3): training on the noisy device");
+    println!("matches or beats classical noise-unaware training on every machine.");
+}

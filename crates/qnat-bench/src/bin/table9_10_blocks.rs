@@ -1,0 +1,46 @@
+//! **Tables 9 & 10 (Appendix A.3.4)** — the intermediate-measurement
+//! trade-off: the same total layer budget split as 1×6, 2×3, 3×2 and 6×1
+//! (blocks × layers). More measurements allow more normalization/
+//! quantization denoising but collapse the Hilbert space.
+
+use qnat_bench::harness::*;
+use qnat_data::dataset::Task;
+use qnat_noise::presets;
+
+fn main() {
+    let fast = std::env::var("QNAT_FAST").is_ok();
+    let cfg = RunConfig::default();
+    let device = presets::belem();
+    let splits: Vec<(usize, usize)> = if fast {
+        vec![(1, 6), (2, 3)]
+    } else {
+        vec![(1, 6), (2, 3), (3, 2), (6, 1)]
+    };
+    let tasks: Vec<Task> = if fast {
+        vec![Task::Mnist4]
+    } else {
+        vec![Task::Mnist4, Task::Fashion4]
+    };
+    let mut rows = Vec::new();
+    for &task in &tasks {
+        let mut row = vec![task.name().to_string()];
+        for &(blocks, layers) in &splits {
+            let arch = ArchSpec::u3cu3(blocks, layers);
+            let (qnn, ds, _) = train_arm(task, arch, &device, Arm::Full, &cfg);
+            let acc = eval_on_hardware(&qnn, &ds, &device, Arm::Full, &cfg, 2);
+            row.push(format!("{acc:.2}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["task".to_string()];
+    header.extend(splits.iter().map(|&(b, l)| format!("{b}B×{l}L")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Tables 9/10: intermediate-measurement trade-off (Belem, QuantumNAT)",
+        &header_refs,
+        &rows,
+    );
+    println!("\nExpected shape (paper Tables 9/10): an interior sweet spot —");
+    println!("2 blocks × 3 layers beats both the fully-quantum 1×6 split and the");
+    println!("measurement-heavy 6×1 split.");
+}

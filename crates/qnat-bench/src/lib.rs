@@ -1,0 +1,9 @@
+//! # qnat-bench — experiment harness for the QuantumNAT reproduction
+//!
+//! One binary per paper table/figure (see DESIGN.md §4) plus criterion
+//! performance benches. The shared four-arm ablation protocol lives in
+//! [`harness`].
+
+#![warn(missing_docs)]
+
+pub mod harness;

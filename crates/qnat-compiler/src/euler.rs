@@ -1,0 +1,188 @@
+//! Euler-angle (ZYZ) decomposition of single-qubit unitaries and their
+//! lowering to the IBMQ basis `{RZ, SX, X}`.
+//!
+//! Any 2×2 unitary equals `e^{iα}·RZ(φ)·RY(θ)·RZ(λ)`, i.e. `U3(θ, φ, λ)` up
+//! to a global phase. `U3` is then lowered via the McKay decomposition:
+//! `U3(θ, φ, λ) ≅ RZ(φ+π) · SX · RZ(θ+π) · SX · RZ(λ)` (matrix product
+//! order), which uses at most two physical SX pulses — `RZ` is a virtual
+//! frame change and free on hardware.
+
+use qnat_sim::gate::Gate;
+use qnat_sim::math::Mat2;
+use std::f64::consts::PI;
+
+/// Numeric tolerance for recognizing special angles.
+const TOL: f64 = 1e-9;
+
+/// ZYZ Euler angles `(theta, phi, lambda)` such that
+/// `U = e^{iα}·RZ(phi)·RY(theta)·RZ(lambda)` — equivalently
+/// `U ≅ U3(theta, phi, lambda)` up to global phase.
+pub fn zyz_angles(u: &Mat2) -> (f64, f64, f64) {
+    // |u00| = cos(θ/2), |u10| = sin(θ/2).
+    let c = u[0][0].abs().clamp(0.0, 1.0);
+    let s = u[1][0].abs().clamp(0.0, 1.0);
+    let theta = 2.0 * s.atan2(c);
+    if s < TOL {
+        // Diagonal: only φ+λ matters; put it all in λ.
+        let lam = u[1][1].im.atan2(u[1][1].re) - u[0][0].im.atan2(u[0][0].re);
+        return (0.0, 0.0, lam);
+    }
+    if c < TOL {
+        // Anti-diagonal (θ = π): U3(π,φ,λ) = e^{iα}[[0, −e^{iλ}], [e^{iφ}, 0]];
+        // only φ−λ is physical, so fix λ = 0 and read φ from u10/(−u01).
+        let ratio = u[1][0] / (-u[0][1]);
+        return (PI, normalize_angle(ratio.im.atan2(ratio.re)), 0.0);
+    }
+    // Generic case.
+    let a00 = u[0][0].im.atan2(u[0][0].re); // α − (φ+λ)/2
+    let a10 = u[1][0].im.atan2(u[1][0].re); // α + (φ−λ)/2
+    let a11 = u[1][1].im.atan2(u[1][1].re); // α + (φ+λ)/2
+    let phi_plus_lam = a11 - a00;
+    let phi_minus_lam = 2.0 * a10 - a00 - a11;
+    let phi = normalize_angle((phi_plus_lam + phi_minus_lam) / 2.0);
+    let lam = normalize_angle((phi_plus_lam - phi_minus_lam) / 2.0);
+    (theta, phi, lam)
+}
+
+/// Normalizes an angle to `(−π, π]`.
+pub fn normalize_angle(a: f64) -> f64 {
+    let mut a = a % (2.0 * PI);
+    if a <= -PI {
+        a += 2.0 * PI;
+    } else if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+/// Lowers `U3(theta, phi, lambda)` on qubit `q` to basis gates, in circuit
+/// (execution) order. Uses zero SX pulses for diagonal gates, one for
+/// θ = ±π/2, two otherwise.
+pub fn u3_to_basis(q: usize, theta: f64, phi: f64, lambda: f64) -> Vec<Gate> {
+    let theta = normalize_angle(theta);
+    let mut out = Vec::with_capacity(5);
+    let push_rz = |v: &mut Vec<Gate>, a: f64| {
+        let a = normalize_angle(a);
+        if a.abs() > TOL {
+            v.push(Gate::rz(q, a));
+        }
+    };
+    if theta.abs() < TOL {
+        // Pure phase: RZ(φ+λ).
+        push_rz(&mut out, phi + lambda);
+        return out;
+    }
+    if (theta - PI / 2.0).abs() < TOL {
+        // U3(π/2, φ, λ) ≅ RZ(φ+π/2)·SX·RZ(λ−π/2).
+        push_rz(&mut out, lambda - PI / 2.0);
+        out.push(Gate::sx(q));
+        push_rz(&mut out, phi + PI / 2.0);
+        return out;
+    }
+    if (theta + PI / 2.0).abs() < TOL {
+        // U3(−π/2, φ, λ) = U3(π/2, φ+π, λ+π) up to phase.
+        return u3_to_basis(q, PI / 2.0, phi + PI, lambda + PI);
+    }
+    // McKay: U3(θ,φ,λ) ≅ RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ)  (matrix order);
+    // circuit order is reversed.
+    push_rz(&mut out, lambda);
+    out.push(Gate::sx(q));
+    push_rz(&mut out, theta + PI);
+    out.push(Gate::sx(q));
+    push_rz(&mut out, phi + PI);
+    out
+}
+
+/// Lowers an arbitrary single-qubit gate matrix to basis gates (circuit
+/// order), up to global phase.
+pub fn mat2_to_basis(q: usize, u: &Mat2) -> Vec<Gate> {
+    let (theta, phi, lam) = zyz_angles(u);
+    u3_to_basis(q, theta, phi, lam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unitary::equiv_up_to_phase;
+    use qnat_sim::circuit::Circuit;
+
+    fn check_gate(g: Gate) {
+        let mut reference = Circuit::new(1);
+        reference.push(g);
+        let mut lowered = Circuit::new(1);
+        lowered.extend(mat2_to_basis(0, &g.matrix1()));
+        assert!(
+            equiv_up_to_phase(&reference, &lowered, 1e-9),
+            "lowering of {g} wrong:\n{lowered}"
+        );
+    }
+
+    #[test]
+    fn zyz_recovers_standard_gates() {
+        for g in [
+            Gate::x(0),
+            Gate::y(0),
+            Gate::z(0),
+            Gate::h(0),
+            Gate::s(0),
+            Gate::sdg(0),
+            Gate::t(0),
+            Gate::sx(0),
+            Gate::sxdg(0),
+            Gate::sqrt_h(0),
+            Gate::id(0),
+        ] {
+            check_gate(g);
+        }
+    }
+
+    #[test]
+    fn zyz_recovers_rotations() {
+        for &a in &[0.0, 0.1, -0.7, 1.3, PI / 2.0, -PI / 2.0, PI, 2.9, -3.1] {
+            check_gate(Gate::rx(0, a));
+            check_gate(Gate::ry(0, a));
+            check_gate(Gate::rz(0, a));
+            check_gate(Gate::p(0, a));
+        }
+    }
+
+    #[test]
+    fn zyz_recovers_u_gates() {
+        check_gate(Gate::u2(0, 0.4, -0.9));
+        check_gate(Gate::u2(0, 0.0, 0.0));
+        for &(t, p, l) in &[
+            (0.7, 0.3, -0.5),
+            (2.8, -1.2, 0.9),
+            (PI / 2.0, 1.0, 2.0),
+            (PI, 0.5, -0.5),
+            (1e-12, 0.4, 0.3),
+        ] {
+            check_gate(Gate::u3(0, t, p, l));
+        }
+    }
+
+    #[test]
+    fn sx_count_is_minimal() {
+        // Diagonal gate: no SX.
+        let g = Gate::rz(0, 0.8);
+        let basis = mat2_to_basis(0, &g.matrix1());
+        assert!(basis.iter().all(|b| b.kind != qnat_sim::GateKind::Sx));
+        // Hadamard: θ = π/2 → one SX.
+        let basis = mat2_to_basis(0, &Gate::h(0).matrix1());
+        let n_sx = basis
+            .iter()
+            .filter(|b| b.kind == qnat_sim::GateKind::Sx)
+            .count();
+        assert_eq!(n_sx, 1, "H should lower to a single SX: {basis:?}");
+    }
+
+    #[test]
+    fn normalize_angle_range() {
+        for &a in &[0.0, PI, -PI, 3.5 * PI, -7.1, 100.0] {
+            let n = normalize_angle(a);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+            // Same angle modulo 2π.
+            assert!(((a - n) / (2.0 * PI) - ((a - n) / (2.0 * PI)).round()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Transpilation pipeline: layout → routing → basis decomposition →
+//! peephole optimization.
+//!
+//! Mirrors the Qiskit configuration of the paper: optimization level 2 for
+//! all main experiments, level 3 (adding noise-adaptive layout) for the
+//! Table 7 study. The result carries the *window* of physical qubits used
+//! and the final logical→physical map so that measurement and readout-error
+//! handling address the right wires.
+
+use crate::decompose::decompose_to_basis;
+use crate::mapping::{noise_adaptive_layout, Layout};
+use crate::optimize::{merge_rz, optimize};
+use qnat_noise::device::{DeviceModel, InvalidDeviceError};
+use qnat_sim::circuit::Circuit;
+
+/// Transpiler options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranspileOptions {
+    /// Optimization level 0–3 (paper default: 2; Table 7 uses 3).
+    pub opt_level: u8,
+}
+
+impl Default for TranspileOptions {
+    fn default() -> Self {
+        TranspileOptions { opt_level: 2 }
+    }
+}
+
+impl TranspileOptions {
+    /// Options for a given optimization level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 3`.
+    pub fn level(level: u8) -> Self {
+        assert!(level <= 3, "optimization levels are 0..=3");
+        TranspileOptions { opt_level: level }
+    }
+}
+
+/// The output of transpilation.
+#[derive(Debug, Clone)]
+pub struct Transpiled {
+    /// Basis-gate circuit over the *window* register (relabeled physical
+    /// qubits `0..window.len()`).
+    pub circuit: Circuit,
+    /// Physical device qubits used, in window order (window index →
+    /// device qubit).
+    pub window: Vec<usize>,
+    /// Final logical→window-index map (after routing SWAPs).
+    pub layout: Vec<usize>,
+    /// Sub-device noise model over the window, relabeled — run the circuit
+    /// on this with the hardware emulator.
+    pub device_view: DeviceModel,
+}
+
+impl Transpiled {
+    /// Extracts the logical qubit values from a window-indexed per-qubit
+    /// vector (e.g. measured expectations).
+    pub fn logical_values<T: Copy>(&self, window_values: &[T]) -> Vec<T> {
+        self.layout.iter().map(|&w| window_values[w]).collect()
+    }
+}
+
+/// Routes `circuit` under `layout` and extracts the window of physical
+/// qubits actually used, relabeled to `0..window.len()`.
+///
+/// Returns `(windowed circuit, window, logical→window layout, sub-device)`.
+/// Gate parameters are preserved in order, so the result can be lowered
+/// symbolically.
+///
+/// # Errors
+///
+/// Returns [`InvalidDeviceError`] if the window cannot be extracted.
+pub fn route_and_window(
+    circuit: &Circuit,
+    model: &DeviceModel,
+    initial: &crate::mapping::Layout,
+) -> Result<(Circuit, Vec<usize>, Vec<usize>, DeviceModel), InvalidDeviceError> {
+    let (routed_full, final_layout) = crate::mapping::route(circuit, model, initial);
+    let mut window: Vec<usize> = Vec::new();
+    for g in routed_full.gates() {
+        for k in 0..g.arity() {
+            if !window.contains(&g.qubits[k]) {
+                window.push(g.qubits[k]);
+            }
+        }
+    }
+    for &p in &final_layout.physical {
+        if !window.contains(&p) {
+            window.push(p);
+        }
+    }
+    window.sort_unstable();
+    let device_view = model.subdevice(&window)?;
+    let mut windowed = Circuit::new(window.len());
+    for g in routed_full.gates() {
+        let mut wg = *g;
+        for k in 0..g.arity() {
+            wg.qubits[k] = window
+                .iter()
+                .position(|&p| p == g.qubits[k])
+                .expect("window covers all touched qubits");
+        }
+        windowed.push(wg);
+    }
+    let layout: Vec<usize> = final_layout
+        .physical
+        .iter()
+        .map(|&p| window.iter().position(|&w| w == p).expect("in window"))
+        .collect();
+    Ok((windowed, window, layout, device_view))
+}
+
+/// Transpiles `circuit` for `model`.
+///
+/// # Errors
+///
+/// Returns [`InvalidDeviceError`] if the circuit needs more qubits than the
+/// device provides.
+pub fn transpile(
+    circuit: &Circuit,
+    model: &DeviceModel,
+    options: TranspileOptions,
+) -> Result<Transpiled, InvalidDeviceError> {
+    if circuit.n_qubits() > model.n_qubits() {
+        return Err(InvalidDeviceError {
+            reason: format!(
+                "circuit needs {} qubits, device {} has {}",
+                circuit.n_qubits(),
+                model.name(),
+                model.n_qubits()
+            ),
+        });
+    }
+    // 1. Layout.
+    let initial = if options.opt_level >= 3 {
+        noise_adaptive_layout(circuit, model)
+    } else {
+        Layout::trivial(circuit.n_qubits())
+    };
+    // 2–3. Routing on the full device graph + window extraction.
+    let (windowed, window, layout, device_view) = route_and_window(circuit, model, &initial)?;
+    // 4. Basis decomposition.
+    let mut lowered = decompose_to_basis(&windowed);
+    // 5. Peephole optimization.
+    match options.opt_level {
+        0 => {}
+        1 => {
+            merge_rz(&mut lowered);
+        }
+        _ => optimize(&mut lowered),
+    }
+    Ok(Transpiled {
+        circuit: lowered,
+        window,
+        layout,
+        device_view,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::is_basis_gate;
+    use qnat_noise::presets;
+    use qnat_sim::gate::Gate;
+    use qnat_sim::statevector::simulate;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.push(Gate::ry(0, 0.6));
+        c.push(Gate::ry(1, -0.2));
+        c.push(Gate::ry(2, 1.4));
+        c.push(Gate::ry(3, 0.9));
+        c.push(Gate::cu3(0, 1, 0.5, 0.1, -0.3));
+        c.push(Gate::cu3(2, 3, -0.7, 0.4, 0.2));
+        c.push(Gate::cu3(0, 3, 0.3, -0.1, 0.6)); // distant pair → routing
+        c
+    }
+
+    #[test]
+    fn transpiled_circuit_is_basis_only_and_coupled() {
+        let model = presets::santiago();
+        let t = transpile(&sample_circuit(), &model, TranspileOptions::default()).unwrap();
+        assert!(t.circuit.gates().iter().all(|g| is_basis_gate(g.kind)));
+        for g in t.circuit.gates().iter().filter(|g| g.arity() == 2) {
+            assert!(
+                t.device_view.are_coupled(g.qubits[0], g.qubits[1]),
+                "{g} not coupled in window"
+            );
+        }
+    }
+
+    #[test]
+    fn transpilation_preserves_logical_expectations() {
+        let c = sample_circuit();
+        let model = presets::santiago();
+        for level in 0..=3 {
+            let t = transpile(&c, &model, TranspileOptions::level(level)).unwrap();
+            let ideal = simulate(&c);
+            let mut psi = qnat_sim::StateVector::zero_state(t.circuit.n_qubits());
+            psi.run(&t.circuit);
+            let window_z = psi.expect_all_z();
+            let logical_z = t.logical_values(&window_z);
+            for q in 0..4 {
+                assert!(
+                    (logical_z[q] - ideal.expect_z(q)).abs() < 1e-8,
+                    "level {level} qubit {q}: {} vs {}",
+                    logical_z[q],
+                    ideal.expect_z(q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_do_not_increase_gate_count() {
+        let c = sample_circuit();
+        let model = presets::belem();
+        let n0 = transpile(&c, &model, TranspileOptions::level(0))
+            .unwrap()
+            .circuit
+            .len();
+        let n2 = transpile(&c, &model, TranspileOptions::level(2))
+            .unwrap()
+            .circuit
+            .len();
+        assert!(n2 <= n0, "level 2 ({n2}) vs level 0 ({n0})");
+    }
+
+    #[test]
+    fn oversized_circuit_rejected() {
+        let c = Circuit::new(9);
+        assert!(transpile(&c, &presets::santiago(), TranspileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn window_fits_on_large_device() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::sx(0));
+        let model = presets::melbourne();
+        let t = transpile(&c, &model, TranspileOptions::level(3)).unwrap();
+        assert!(t.window.len() <= 5, "window {:?}", t.window);
+        assert_eq!(t.device_view.n_qubits(), t.window.len());
+    }
+
+    #[test]
+    fn level3_layout_cost_not_worse() {
+        use crate::mapping::{distances, layout_cost, Layout};
+        let c = sample_circuit();
+        let model = presets::yorktown();
+        let dist = distances(&model);
+        let adaptive = crate::mapping::noise_adaptive_layout(&c, &model);
+        let triv = layout_cost(&c, &model, &Layout::trivial(4), &dist);
+        let adap = layout_cost(&c, &model, &adaptive, &dist);
+        assert!(adap <= triv + 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Full-unitary extraction and equivalence checking (verification helpers).
+//!
+//! Builds the dense 2ⁿ×2ⁿ unitary of a circuit column-by-column by
+//! simulating each basis state. Intended for tests and small registers
+//! (n ≤ 6); the transpiler's correctness tests compare circuits *up to
+//! global phase* with [`equiv_up_to_phase`].
+
+use qnat_sim::circuit::Circuit;
+use qnat_sim::math::C64;
+use qnat_sim::statevector::StateVector;
+
+/// The dense unitary of `circuit` as `u[row][col]`.
+///
+/// # Panics
+///
+/// Panics if the register has more than 12 qubits (4096² entries).
+pub fn circuit_unitary(circuit: &Circuit) -> Vec<Vec<C64>> {
+    let n = circuit.n_qubits();
+    assert!(n <= 12, "unitary extraction limited to 12 qubits");
+    let dim = 1usize << n;
+    let mut cols = Vec::with_capacity(dim);
+    for c in 0..dim {
+        let mut amps = vec![C64::ZERO; dim];
+        amps[c] = C64::ONE;
+        let mut psi = StateVector::from_amplitudes(amps);
+        psi.run(circuit);
+        cols.push(psi.amplitudes().to_vec());
+    }
+    // Transpose columns into row-major form.
+    let mut u = vec![vec![C64::ZERO; dim]; dim];
+    for (c, col) in cols.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            u[r][c] = v;
+        }
+    }
+    u
+}
+
+/// Checks whether two circuits implement the same unitary up to a global
+/// phase, within tolerance `tol` per matrix entry.
+pub fn equiv_up_to_phase(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    if a.n_qubits() != b.n_qubits() {
+        return false;
+    }
+    let ua = circuit_unitary(a);
+    let ub = circuit_unitary(b);
+    // Find the first entry of ua with significant magnitude to anchor the
+    // relative phase.
+    let dim = ua.len();
+    let mut phase: Option<C64> = None;
+    for r in 0..dim {
+        for c in 0..dim {
+            if ua[r][c].abs() > 0.5 / dim as f64 + 1e-6 && ub[r][c].abs() > 1e-9 {
+                phase = Some(ua[r][c] / ub[r][c]);
+                break;
+            }
+        }
+        if phase.is_some() {
+            break;
+        }
+    }
+    let Some(ph) = phase else { return false };
+    if (ph.abs() - 1.0).abs() > 1e-6 {
+        return false;
+    }
+    for r in 0..dim {
+        for c in 0..dim {
+            if !(ub[r][c] * ph).approx_eq(ua[r][c], tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnat_sim::gate::Gate;
+
+    #[test]
+    fn identity_circuit_gives_identity_unitary() {
+        let c = Circuit::new(2);
+        let u = circuit_unitary(&c);
+        for r in 0..4 {
+            for cc in 0..4 {
+                let want = if r == cc { C64::ONE } else { C64::ZERO };
+                assert!(u[r][cc].approx_eq(want, 1e-14));
+            }
+        }
+    }
+
+    #[test]
+    fn x_gate_unitary() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::x(0));
+        let u = circuit_unitary(&c);
+        assert!(u[0][1].approx_eq(C64::ONE, 1e-14));
+        assert!(u[1][0].approx_eq(C64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn equivalence_detects_global_phase() {
+        // Z vs RZ(π) differ by a global phase of i.
+        let mut a = Circuit::new(1);
+        a.push(Gate::z(0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::rz(0, std::f64::consts::PI));
+        assert!(equiv_up_to_phase(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn equivalence_rejects_different_unitaries() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::x(0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::h(0));
+        assert!(!equiv_up_to_phase(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn hadamard_conjugation_identity() {
+        // H X H = Z up to phase.
+        let mut a = Circuit::new(1);
+        a.push(Gate::h(0));
+        a.push(Gate::x(0));
+        a.push(Gate::h(0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::z(0));
+        assert!(equiv_up_to_phase(&a, &b, 1e-10));
+    }
+}

@@ -1,0 +1,223 @@
+//! Classical-to-quantum encoders.
+//!
+//! Each block of a QuantumNAT QNN starts with an encoder that writes
+//! classical values into rotation angles (paper §4.1):
+//!
+//! * 4×4 images → 4 qubits × 4 layers `[RY, RX, RZ, RY]` (16 angles);
+//! * 6×6 images → 10 qubits × layers `[RY×10, RX×10, RZ×10, RY×6]`;
+//! * 10 vowel features → 4 qubits × `[RY×4, RX×4, RZ×2]`;
+//! * inter-block re-upload → one RY per qubit carrying the previous block's
+//!   (normalized, quantized) measurement outcome.
+//!
+//! Features in `[0, 1]` are scaled by π before becoming angles; inter-block
+//! outcomes are used directly (scale 1).
+
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+
+/// Rotation axis of one encoder gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotAxis {
+    /// RX rotation.
+    X,
+    /// RY rotation.
+    Y,
+    /// RZ rotation.
+    Z,
+}
+
+/// An encoder: an ordered list of rotation gates, one per input feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoder {
+    n_qubits: usize,
+    slots: Vec<(RotAxis, usize)>,
+    scale: f64,
+}
+
+impl Encoder {
+    /// Encoder for 16 features on 4 qubits (4×4 images).
+    pub fn image_4x4() -> Encoder {
+        let mut slots = Vec::with_capacity(16);
+        for &axis in &[RotAxis::Y, RotAxis::X, RotAxis::Z, RotAxis::Y] {
+            for q in 0..4 {
+                slots.push((axis, q));
+            }
+        }
+        Encoder {
+            n_qubits: 4,
+            slots,
+            scale: std::f64::consts::PI,
+        }
+    }
+
+    /// Encoder for 36 features on 10 qubits (6×6 images):
+    /// RY×10, RX×10, RZ×10, RY×6.
+    pub fn image_6x6() -> Encoder {
+        let mut slots = Vec::with_capacity(36);
+        for q in 0..10 {
+            slots.push((RotAxis::Y, q));
+        }
+        for q in 0..10 {
+            slots.push((RotAxis::X, q));
+        }
+        for q in 0..10 {
+            slots.push((RotAxis::Z, q));
+        }
+        for q in 0..6 {
+            slots.push((RotAxis::Y, q));
+        }
+        Encoder {
+            n_qubits: 10,
+            slots,
+            scale: std::f64::consts::PI,
+        }
+    }
+
+    /// Encoder for 10 vowel features on 4 qubits: RY×4, RX×4, RZ×2.
+    pub fn vowel() -> Encoder {
+        let mut slots = Vec::with_capacity(10);
+        for q in 0..4 {
+            slots.push((RotAxis::Y, q));
+        }
+        for q in 0..4 {
+            slots.push((RotAxis::X, q));
+        }
+        for q in 0..2 {
+            slots.push((RotAxis::Z, q));
+        }
+        Encoder {
+            n_qubits: 4,
+            slots,
+            scale: std::f64::consts::PI,
+        }
+    }
+
+    /// Inter-block re-upload encoder: one RY per qubit, angles used
+    /// directly (scale 1).
+    pub fn reupload(n_qubits: usize) -> Encoder {
+        Encoder {
+            n_qubits,
+            slots: (0..n_qubits).map(|q| (RotAxis::Y, q)).collect(),
+            scale: 1.0,
+        }
+    }
+
+    /// Selects the paper's first-block encoder for a feature count.
+    ///
+    /// # Panics
+    ///
+    /// Panics for feature counts with no defined encoder (16, 36, 10 and
+    /// `n ≤ 12` two-feature toy inputs are supported).
+    pub fn for_features(n_features: usize) -> Encoder {
+        match n_features {
+            16 => Encoder::image_4x4(),
+            36 => Encoder::image_6x6(),
+            10 => Encoder::vowel(),
+            // Toy tasks (e.g. Table 3's two-feature inputs): RY per qubit.
+            n if n <= 12 => Encoder {
+                n_qubits: n,
+                slots: (0..n).map(|q| (RotAxis::Y, q)).collect(),
+                scale: std::f64::consts::PI,
+            },
+            n => panic!("no encoder defined for {n} features"),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of input features (= number of encoder gates).
+    pub fn n_features(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The factor mapping feature values to angles.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Appends the encoder gates (zero angles, to be bound later) to a
+    /// circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is smaller than the encoder's.
+    pub fn append_template(&self, circuit: &mut Circuit) {
+        assert!(circuit.n_qubits() >= self.n_qubits, "register too small");
+        for &(axis, q) in &self.slots {
+            circuit.push(match axis {
+                RotAxis::X => Gate::rx(q, 0.0),
+                RotAxis::Y => Gate::ry(q, 0.0),
+                RotAxis::Z => Gate::rz(q, 0.0),
+            });
+        }
+    }
+
+    /// Converts feature values to encoder angles (applies the scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn angles(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.n_features(), "feature count");
+        features.iter().map(|&f| f * self.scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_encoder_shapes() {
+        let e = Encoder::image_4x4();
+        assert_eq!((e.n_qubits(), e.n_features()), (4, 16));
+        let e = Encoder::image_6x6();
+        assert_eq!((e.n_qubits(), e.n_features()), (10, 36));
+        let e = Encoder::vowel();
+        assert_eq!((e.n_qubits(), e.n_features()), (4, 10));
+        let e = Encoder::reupload(7);
+        assert_eq!((e.n_qubits(), e.n_features()), (7, 7));
+        assert_eq!(e.scale(), 1.0);
+    }
+
+    #[test]
+    fn for_features_dispatch() {
+        assert_eq!(Encoder::for_features(16).n_qubits(), 4);
+        assert_eq!(Encoder::for_features(36).n_qubits(), 10);
+        assert_eq!(Encoder::for_features(10).n_qubits(), 4);
+        assert_eq!(Encoder::for_features(2).n_qubits(), 2);
+    }
+
+    #[test]
+    fn template_has_one_param_per_feature() {
+        let e = Encoder::image_4x4();
+        let mut c = Circuit::new(4);
+        e.append_template(&mut c);
+        assert_eq!(c.n_params(), 16);
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn angles_scale_features() {
+        let e = Encoder::reupload(2);
+        assert_eq!(e.angles(&[0.5, -1.0]), vec![0.5, -1.0]);
+        let e = Encoder::for_features(2);
+        let a = e.angles(&[0.5, 1.0]);
+        assert!((a[0] - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vowel_layout_matches_paper() {
+        // RY×4, RX×4, RZ×2 — first 4 gates RY on qubits 0..4.
+        let e = Encoder::vowel();
+        let mut c = Circuit::new(4);
+        e.append_template(&mut c);
+        assert_eq!(c.gates()[0].kind, qnat_sim::GateKind::Ry);
+        assert_eq!(c.gates()[4].kind, qnat_sim::GateKind::Rx);
+        assert_eq!(c.gates()[8].kind, qnat_sim::GateKind::Rz);
+        assert_eq!(c.gates()[9].qubits[0], 1);
+    }
+}

@@ -1,0 +1,526 @@
+//! Inference pipelines: noise-free, noise-model-based and (emulated)
+//! hardware deployment.
+//!
+//! Deployment follows the paper's flow: the logical model is transpiled for
+//! the target device (trivial layout at Qiskit-style optimization level ≤ 2,
+//! noise-adaptive layout at level 3 — Table 7), run on the density-matrix
+//! hardware emulator with readout error and optional finite shots, and the
+//! measurement outcomes pass through post-measurement normalization (batch
+//! or validation statistics) and quantization before re-upload.
+
+use crate::forward::QuantizeSpec;
+use crate::head::apply_head;
+use crate::model::{NoiseSource, Qnn};
+use crate::normalize::{normalize_batch, NormStats};
+use qnat_autodiff::tape::quantize_value;
+use qnat_compiler::mapping::{noise_adaptive_layout, Layout};
+use qnat_compiler::symbolic::{lower_symbolic, SymbolicLowered};
+use qnat_compiler::transpile::route_and_window;
+use qnat_noise::device::{DeviceModel, InvalidDeviceError};
+use qnat_noise::emulator::HardwareEmulator;
+use qnat_noise::trajectory::TrajectoryEmulator;
+use rand::Rng;
+
+/// How normalization statistics are obtained at inference time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormMode {
+    /// No normalization (the raw baseline).
+    Off,
+    /// Each batch uses its own statistics (the paper's default).
+    BatchStats,
+    /// Fixed per-block statistics profiled on the validation set
+    /// (Appendix A.3.7 — for small test batches).
+    FixedStats(Vec<NormStats>),
+}
+
+/// Inference-time pipeline settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOptions {
+    /// Normalization mode between blocks.
+    pub normalize: NormMode,
+    /// Quantization between blocks.
+    pub quantize: Option<QuantizeSpec>,
+    /// Also process the last block's outcomes (fully-quantum models,
+    /// Appendix A.3.3).
+    pub process_last: bool,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions {
+            normalize: NormMode::BatchStats,
+            quantize: Some(QuantizeSpec::levels(5)),
+            process_last: false,
+        }
+    }
+}
+
+impl InferenceOptions {
+    /// Raw pipeline: no normalization, no quantization.
+    pub fn baseline() -> Self {
+        InferenceOptions {
+            normalize: NormMode::Off,
+            quantize: None,
+            process_last: false,
+        }
+    }
+}
+
+/// Result of an inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Class logits per sample.
+    pub logits: Vec<Vec<f64>>,
+    /// Raw (pre-normalization) measurement outcomes of each block:
+    /// `block_outputs[block][sample][qubit]`.
+    pub block_outputs: Vec<Vec<Vec<f64>>>,
+}
+
+impl InferenceResult {
+    /// Accuracy against labels.
+    pub fn accuracy(&self, labels: &[usize]) -> f64 {
+        crate::metrics::accuracy(&self.logits, labels)
+    }
+}
+
+/// Window registers up to this size use the exact density-matrix emulator;
+/// larger ones fall back to Monte-Carlo trajectories.
+pub const DENSITY_MATRIX_LIMIT: usize = 7;
+
+/// Default trajectory count for large-register emulation.
+pub const DEFAULT_TRAJECTORIES: usize = 48;
+
+/// The physical backend a deployed block runs on.
+#[derive(Debug, Clone)]
+enum BlockEmulator {
+    /// Exact density-matrix emulation (small windows).
+    Density(HardwareEmulator),
+    /// Monte-Carlo trajectory emulation (large windows).
+    Trajectory(TrajectoryEmulator),
+}
+
+impl BlockEmulator {
+    fn expect_all_z<R: Rng>(&self, c: &qnat_sim::Circuit, rng: &mut R) -> Vec<f64> {
+        match self {
+            BlockEmulator::Density(e) => e.expect_all_z(c),
+            BlockEmulator::Trajectory(e) => e.expect_all_z(c, rng),
+        }
+    }
+
+    fn sampled_expect_all_z<R: Rng>(
+        &self,
+        c: &qnat_sim::Circuit,
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        match self {
+            BlockEmulator::Density(e) => e.sampled_expect_all_z(c, shots, rng),
+            BlockEmulator::Trajectory(e) => e.sampled_expect_all_z(c, shots, rng),
+        }
+    }
+}
+
+/// One block deployed on a device: routed, lowered and bound to a hardware
+/// emulator view.
+#[derive(Debug, Clone)]
+pub struct DeployedBlock {
+    lowered: SymbolicLowered,
+    obs: Vec<usize>,
+    emulator: BlockEmulator,
+}
+
+/// A QNN transpiled for a target device.
+#[derive(Debug, Clone)]
+pub struct DeployedQnn<'a> {
+    qnn: &'a Qnn,
+    blocks: Vec<DeployedBlock>,
+    /// Finite-shot sampling (`None` = exact expectations, paper uses 8192).
+    pub shots: Option<usize>,
+}
+
+impl<'a> DeployedQnn<'a> {
+    /// Per-block expectation evaluation on the emulator.
+    fn eval_block<R: Rng>(
+        &self,
+        block_idx: usize,
+        inputs: &[f64],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let block = &self.qnn.blocks()[block_idx];
+        let dep = &self.blocks[block_idx];
+        let mut params = block.encoder.angles(inputs);
+        params.extend_from_slice(self.qnn.block_params(block_idx));
+        let bound = dep.lowered.bind(&params);
+        let window_z = match self.shots {
+            Some(s) => dep.emulator.sampled_expect_all_z(&bound, s, rng),
+            None => dep.emulator.expect_all_z(&bound, rng),
+        };
+        dep.obs.iter().map(|&w| window_z[w]).collect()
+    }
+}
+
+impl Qnn {
+    /// Transpiles the model for a device. `opt_level ≥ 3` enables the
+    /// noise-adaptive initial layout (Table 7); lower levels use the
+    /// trivial layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small.
+    pub fn deploy<'a>(
+        &'a self,
+        device: &DeviceModel,
+        opt_level: u8,
+    ) -> Result<DeployedQnn<'a>, InvalidDeviceError> {
+        let mut blocks = Vec::with_capacity(self.blocks().len());
+        for block in self.blocks() {
+            let layout = if opt_level >= 3 {
+                noise_adaptive_layout(&block.logical, device)
+            } else {
+                Layout::trivial(self.config().n_qubits)
+            };
+            let (windowed, _window, obs, view) =
+                route_and_window(&block.logical, device, &layout)?;
+            let emulator = if view.n_qubits() <= DENSITY_MATRIX_LIMIT {
+                BlockEmulator::Density(HardwareEmulator::new(view))
+            } else {
+                BlockEmulator::Trajectory(TrajectoryEmulator::new(
+                    view,
+                    DEFAULT_TRAJECTORIES,
+                ))
+            };
+            blocks.push(DeployedBlock {
+                lowered: lower_symbolic(&windowed),
+                obs,
+                emulator,
+            });
+        }
+        Ok(DeployedQnn {
+            qnn: self,
+            blocks,
+            shots: None,
+        })
+    }
+}
+
+/// Which physical process produces the measurement outcomes.
+pub enum InferenceBackend<'a> {
+    /// Ideal statevector simulation.
+    NoiseFree,
+    /// The training-time stochastic Pauli model: `n_avg` gate-insertion
+    /// samples averaged, plus readout emulation (Table 11's "noise model"
+    /// column).
+    PauliModel {
+        /// Calibration model to sample errors from.
+        model: &'a DeviceModel,
+        /// Noise factor `T`.
+        factor: f64,
+        /// Number of stochastic samples to average.
+        n_avg: usize,
+    },
+    /// The density-matrix hardware emulator ("real QC" stand-in).
+    Hardware(&'a DeployedQnn<'a>),
+}
+
+/// Runs the full inference pipeline over a batch.
+///
+/// # Panics
+///
+/// Panics if `FixedStats` provides the wrong number of block statistics.
+pub fn infer<R: Rng>(
+    qnn: &Qnn,
+    features: &[Vec<f64>],
+    backend: &InferenceBackend<'_>,
+    opts: &InferenceOptions,
+    rng: &mut R,
+) -> InferenceResult {
+    let n_blocks = qnn.config().n_blocks;
+    if let NormMode::FixedStats(stats) = &opts.normalize {
+        let needed = if opts.process_last {
+            n_blocks
+        } else {
+            n_blocks.saturating_sub(1)
+        };
+        assert_eq!(stats.len(), needed, "need one NormStats per processed block");
+    }
+    let mut activations: Vec<Vec<f64>> = features.to_vec();
+    let mut block_outputs = Vec::with_capacity(n_blocks);
+    for bi in 0..n_blocks {
+        // Raw outcomes for the whole batch.
+        let raw: Vec<Vec<f64>> = activations
+            .iter()
+            .map(|row| match backend {
+                InferenceBackend::NoiseFree => {
+                    qnn.eval_block(bi, row, &NoiseSource::None, None, false, rng)
+                        .outputs
+                }
+                InferenceBackend::PauliModel {
+                    model,
+                    factor,
+                    n_avg,
+                } => {
+                    let n_avg = (*n_avg).max(1);
+                    let mut acc = vec![0.0; qnn.config().n_qubits];
+                    for _ in 0..n_avg {
+                        let noise = NoiseSource::GateInsertion {
+                            model,
+                            factor: *factor,
+                        };
+                        let out = qnn
+                            .eval_block(bi, row, &noise, Some(model), false, rng)
+                            .outputs;
+                        for (a, o) in acc.iter_mut().zip(&out) {
+                            *a += o;
+                        }
+                    }
+                    acc.into_iter().map(|a| a / n_avg as f64).collect()
+                }
+                InferenceBackend::Hardware(dep) => dep.eval_block(bi, row, rng),
+            })
+            .collect();
+        block_outputs.push(raw.clone());
+        let mut processed = raw;
+        if bi + 1 == n_blocks && !opts.process_last {
+            activations = processed;
+            break;
+        }
+        match &opts.normalize {
+            NormMode::Off => {}
+            NormMode::BatchStats => {
+                normalize_batch(&mut processed);
+            }
+            NormMode::FixedStats(stats) => stats[bi].apply(&mut processed),
+        }
+        if let Some(spec) = opts.quantize {
+            for row in &mut processed {
+                for v in row.iter_mut() {
+                    *v = quantize_value(*v, spec.levels, spec.p_min, spec.p_max);
+                }
+            }
+        }
+        activations = processed;
+    }
+    let logits = apply_head(&activations, qnn.config().n_classes);
+    InferenceResult {
+        logits,
+        block_outputs,
+    }
+}
+
+/// Profiles per-block normalization statistics on a (validation) set run
+/// through a backend — used for the `FixedStats` mode of Appendix A.3.7.
+pub fn profile_stats<R: Rng>(
+    qnn: &Qnn,
+    features: &[Vec<f64>],
+    backend: &InferenceBackend<'_>,
+    quantize: Option<QuantizeSpec>,
+    rng: &mut R,
+) -> Vec<NormStats> {
+    // Run with batch stats and harvest the statistics of each block's raw
+    // outputs.
+    let opts = InferenceOptions {
+        normalize: NormMode::BatchStats,
+        quantize,
+        process_last: false,
+    };
+    let result = infer(qnn, features, backend, &opts, rng);
+    result
+        .block_outputs
+        .iter()
+        .take(qnn.config().n_blocks.saturating_sub(1))
+        .map(|raw| NormStats::from_batch(raw))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QnnConfig;
+    use qnat_noise::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch() -> Vec<Vec<f64>> {
+        (0..6)
+            .map(|i| {
+                (0..16)
+                    .map(|k| ((i * 16 + k) as f64 * 0.41).sin().abs())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noise_free_inference_runs() {
+        let qnn = Qnn::new(QnnConfig::standard(16, 4, 2, 2), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = infer(
+            &qnn,
+            &toy_batch(),
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions::default(),
+            &mut rng,
+        );
+        assert_eq!(r.logits.len(), 6);
+        assert_eq!(r.logits[0].len(), 4);
+        assert_eq!(r.block_outputs.len(), 2);
+    }
+
+    #[test]
+    fn hardware_backend_differs_from_noise_free() {
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::for_device(cfg, &presets::yorktown(), 2).unwrap();
+        let dep = qnn.deploy(&presets::yorktown(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = toy_batch();
+        let clean = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let noisy = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let m = crate::metrics::mse(&clean.block_outputs[0], &noisy.block_outputs[0]);
+        assert!(m > 1e-6, "hardware emulation should perturb outcomes");
+    }
+
+    #[test]
+    fn normalization_recovers_contracted_outcomes() {
+        // With normalization the noisy first-block outputs match the
+        // normalized noise-free ones much better (Theorem 3.1).
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::for_device(cfg, &presets::yorktown(), 3).unwrap();
+        let dep = qnn.deploy(&presets::yorktown(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = toy_batch();
+        let clean = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let noisy = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let mut c0 = clean.block_outputs[0].clone();
+        let mut n0 = noisy.block_outputs[0].clone();
+        let snr_raw = crate::metrics::snr(&c0, &n0);
+        normalize_batch(&mut c0);
+        normalize_batch(&mut n0);
+        let snr_norm = crate::metrics::snr(&c0, &n0);
+        assert!(
+            snr_norm > snr_raw,
+            "normalization should improve SNR: {snr_raw} → {snr_norm}"
+        );
+    }
+
+    #[test]
+    fn fixed_stats_mode_close_to_batch_stats() {
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::new(cfg, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let valid = toy_batch();
+        let stats = profile_stats(
+            &qnn,
+            &valid,
+            &InferenceBackend::NoiseFree,
+            Some(QuantizeSpec::levels(5)),
+            &mut rng,
+        );
+        assert_eq!(stats.len(), 1);
+        let test = toy_batch();
+        let with_fixed = infer(
+            &qnn,
+            &test,
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions {
+                normalize: NormMode::FixedStats(stats),
+                quantize: Some(QuantizeSpec::levels(5)),
+                process_last: false,
+            },
+            &mut rng,
+        );
+        let with_batch = infer(
+            &qnn,
+            &test,
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions::default(),
+            &mut rng,
+        );
+        // Same data → identical stats → identical logits.
+        for (a, b) in with_fixed.logits.iter().flatten().zip(with_batch.logits.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shots_add_sampling_noise() {
+        let cfg = QnnConfig::standard(16, 4, 1, 2);
+        let qnn = Qnn::for_device(cfg, &presets::santiago(), 5).unwrap();
+        let mut dep = qnn.deploy(&presets::santiago(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = toy_batch();
+        let exact = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        dep.shots = Some(256);
+        let sampled = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let m = crate::metrics::mse(&exact.block_outputs[0], &sampled.block_outputs[0]);
+        assert!(m > 0.0);
+        assert!(m < 0.05, "256 shots should still be close: {m}");
+    }
+
+    #[test]
+    fn pauli_model_backend_contracts_like_hardware() {
+        let cfg = QnnConfig::standard(16, 4, 1, 2);
+        let qnn = Qnn::for_device(cfg, &presets::yorktown(), 6).unwrap();
+        let model = presets::yorktown();
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = toy_batch();
+        let clean = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        let pauli = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::PauliModel {
+                model: &model,
+                factor: 1.0,
+                n_avg: 16,
+            },
+            &InferenceOptions::baseline(),
+            &mut rng,
+        );
+        // Mean |z| shrinks under the Pauli model.
+        let mean_abs = |m: &Vec<Vec<f64>>| -> f64 {
+            m.iter().flatten().map(|v| v.abs()).sum::<f64>() / (m.len() * m[0].len()) as f64
+        };
+        assert!(mean_abs(&pauli.block_outputs[0]) < mean_abs(&clean.block_outputs[0]) + 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! # qnat-core — QuantumNAT: noise-aware training for robust QNNs
+//!
+//! The paper's primary contribution: a three-stage pipeline that makes
+//! quantum neural networks robust to realistic quantum noise.
+//!
+//! 1. **Post-measurement normalization** ([`normalize`]) — per-qubit batch
+//!    normalization of measurement outcomes, cancelling the `γ·y + β`
+//!    linear noise map of Theorem 3.1.
+//! 2. **Noise injection** ([`model::NoiseSource`]) — error-gate insertion
+//!    sampled from real device noise models into the basis-compiled
+//!    circuit during training, plus readout-error emulation (alternatives:
+//!    outcome / rotation-angle Gaussian perturbation, Fig. 7).
+//! 3. **Post-measurement quantization** ([`forward::QuantizeSpec`]) —
+//!    clipping + uniform quantization of outcomes with a straight-through
+//!    estimator and a quadratic centroid penalty.
+//!
+//! [`model::Qnn`] implements the multi-block architecture of Fig. 2;
+//! [`mod@train`] the Adam/warmup-cosine training loop; [`mod@infer`] the
+//! noise-free, Pauli-model and hardware-emulator inference pipelines;
+//! [`mitigate`] zero-noise extrapolation (Table 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use qnat_core::model::{Qnn, QnnConfig};
+//! use qnat_core::infer::{infer, InferenceBackend, InferenceOptions};
+//! use rand::SeedableRng;
+//!
+//! let qnn = Qnn::new(QnnConfig::standard(16, 4, 2, 2), 0);
+//! let batch = vec![vec![0.4; 16], vec![0.6; 16]];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let out = infer(&qnn, &batch, &InferenceBackend::NoiseFree,
+//!                 &InferenceOptions::default(), &mut rng);
+//! assert_eq!(out.logits.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ansatz;
+pub mod encoder;
+pub mod forward;
+pub mod head;
+pub mod infer;
+pub mod metrics;
+pub mod mitigate;
+pub mod model;
+pub mod normalize;
+pub mod sweep;
+pub mod train;
+
+pub use ansatz::DesignSpace;
+pub use forward::{PipelineOptions, QuantizeSpec};
+pub use infer::{infer, InferenceBackend, InferenceOptions, NormMode};
+pub use model::{NoiseSource, Qnn, QnnConfig};
+pub use train::{train, AdamConfig, TrainOptions};

@@ -1,0 +1,120 @@
+//! Zero-noise extrapolation of measurement-outcome statistics (Table 4).
+//!
+//! QuantumNAT is orthogonal to classic error mitigation: the paper combines
+//! post-measurement normalization with an extrapolation step that estimates
+//! the *noise-free standard deviation* of each qubit's outcomes. The
+//! trained block's layers are repeated (3 → 6 → 9 → 12 layers — each
+//! repetition multiplies the noise while leaving the ideal distribution's
+//! spread comparable), the per-qubit std is measured at each depth, and a
+//! linear fit is extrapolated back to depth 0. Outcomes are then rescaled
+//! so their std matches the extrapolated noise-free value before the usual
+//! normalization.
+
+/// Least-squares linear fit `y ≈ a·x + b`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics with fewer than two points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need ≥ 2 points");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate fit");
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    (a, b)
+}
+
+/// Per-qubit standard deviations of a batch of outcomes.
+pub fn batch_std(outputs: &[Vec<f64>]) -> Vec<f64> {
+    let stats = crate::normalize::NormStats::from_batch(outputs);
+    stats.std
+}
+
+/// Extrapolates per-qubit noise-free stds from measurements at several
+/// noise scales.
+///
+/// `scales[k]` is the noise multiplier of measurement set `k` (e.g. layer
+/// repetitions 1, 2, 3, 4) and `stds[k]` the per-qubit std observed there.
+/// Returns the linear extrapolation to scale 0.
+///
+/// # Panics
+///
+/// Panics if fewer than two scales are provided or shapes are ragged.
+pub fn extrapolate_std(scales: &[f64], stds: &[Vec<f64>]) -> Vec<f64> {
+    assert_eq!(scales.len(), stds.len(), "one std vector per scale");
+    assert!(scales.len() >= 2, "need at least two noise scales");
+    let n_q = stds[0].len();
+    (0..n_q)
+        .map(|q| {
+            let ys: Vec<f64> = stds.iter().map(|s| s[q]).collect();
+            let (_a, b) = linear_fit(scales, &ys);
+            b.max(1e-6)
+        })
+        .collect()
+}
+
+/// Rescales a batch so each qubit's std equals `target_std` (keeping the
+/// mean), then applies standard post-measurement normalization. This is the
+/// "Normalization + Extrapolation" arm of Table 4.
+pub fn rescale_to_std(outputs: &mut [Vec<f64>], target_std: &[f64]) {
+    let stats = crate::normalize::NormStats::from_batch(outputs);
+    for row in outputs.iter_mut() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - stats.mean[j]) / stats.std[j] * target_std[j] + stats.mean[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let (a, b) = linear_fit(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_recovers_zero_noise_intercept() {
+        // std shrinks linearly with noise scale: std = 1.0 − 0.1·scale.
+        let scales = [1.0, 2.0, 3.0, 4.0];
+        let stds: Vec<Vec<f64>> = scales
+            .iter()
+            .map(|&s| vec![1.0 - 0.1 * s, 0.8 - 0.05 * s])
+            .collect();
+        let zero = extrapolate_std(&scales, &stds);
+        assert!((zero[0] - 1.0).abs() < 1e-10);
+        assert!((zero[1] - 0.8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rescale_changes_std_not_mean() {
+        let mut batch = vec![
+            vec![0.1, 0.5],
+            vec![0.3, 0.1],
+            vec![-0.2, 0.9],
+            vec![0.6, -0.3],
+        ];
+        let before = crate::normalize::NormStats::from_batch(&batch);
+        rescale_to_std(&mut batch, &[1.0, 2.0]);
+        let after = crate::normalize::NormStats::from_batch(&batch);
+        for j in 0..2 {
+            assert!((after.mean[j] - before.mean[j]).abs() < 1e-10);
+        }
+        assert!((after.std[0] - 1.0).abs() < 1e-6);
+        assert!((after.std[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two noise scales")]
+    fn single_scale_rejected() {
+        extrapolate_std(&[1.0], &[vec![0.5]]);
+    }
+}

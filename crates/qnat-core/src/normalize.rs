@@ -1,0 +1,144 @@
+//! Post-measurement normalization (paper §3.1).
+//!
+//! For each qubit, measurement outcomes are normalized *across the batch*
+//! to zero mean and unit variance — during training **and** inference.
+//! Theorem 3.1 shows quantum noise acts as `f(y) = γ·y + β` per qubit, so
+//! batch normalization cancels both the scaling and the shift:
+//! `(f(y) − E[f(y)]) / √Var(f(y)) = (y − E[y]) / √Var(y)`.
+//!
+//! Unlike Batch Normalization, the test batch uses *its own* statistics (or
+//! statistics profiled on the validation set when the test batch is small —
+//! Appendix A.3.7), and there are no trainable affine parameters.
+
+/// Numerical floor added to variances.
+pub const NORM_EPS: f64 = 1e-8;
+
+/// Per-qubit mean and standard deviation of a batch of measurement
+/// outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormStats {
+    /// Per-qubit mean.
+    pub mean: Vec<f64>,
+    /// Per-qubit standard deviation (√(Var + ε)).
+    pub std: Vec<f64>,
+}
+
+impl NormStats {
+    /// Computes the statistics of a batch (`outputs[i][q]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or ragged.
+    pub fn from_batch(outputs: &[Vec<f64>]) -> NormStats {
+        assert!(!outputs.is_empty(), "empty batch");
+        let q = outputs[0].len();
+        let n = outputs.len() as f64;
+        let mut mean = vec![0.0; q];
+        for row in outputs {
+            assert_eq!(row.len(), q, "ragged batch");
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; q];
+        for row in outputs {
+            for (j, &v) in row.iter().enumerate() {
+                var[j] += (v - mean[j]) * (v - mean[j]);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n + NORM_EPS).sqrt()).collect();
+        NormStats { mean, std }
+    }
+
+    /// Normalizes a batch in place with these statistics.
+    pub fn apply(&self, outputs: &mut [Vec<f64>]) {
+        for row in outputs.iter_mut() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[j]) / self.std[j];
+            }
+        }
+    }
+}
+
+/// Normalizes a batch with its own statistics (the default inference mode);
+/// returns the statistics used.
+pub fn normalize_batch(outputs: &mut [Vec<f64>]) -> NormStats {
+    let stats = NormStats::from_batch(outputs);
+    stats.apply(outputs);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.3, -0.5, 0.9],
+            vec![0.1, 0.2, -0.3],
+            vec![-0.4, 0.4, 0.5],
+            vec![0.8, -0.1, 0.1],
+        ]
+    }
+
+    #[test]
+    fn normalized_batch_is_zero_mean_unit_var() {
+        let mut batch = sample_batch();
+        normalize_batch(&mut batch);
+        let stats = NormStats::from_batch(&batch);
+        for j in 0..3 {
+            assert!(stats.mean[j].abs() < 1e-10, "mean {j}");
+            assert!((stats.std[j] - 1.0).abs() < 1e-6, "std {j}");
+        }
+    }
+
+    #[test]
+    fn cancels_affine_corruption() {
+        // Theorem 3.1: normalization of γ·y + β equals normalization of y.
+        let mut clean = sample_batch();
+        let mut corrupted: Vec<Vec<f64>> = clean
+            .iter()
+            .map(|row| row.iter().map(|&v| 0.6 * v + 0.17).collect())
+            .collect();
+        normalize_batch(&mut clean);
+        normalize_batch(&mut corrupted);
+        for (a, b) in clean.iter().flatten().zip(corrupted.iter().flatten()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fixed_stats_mode() {
+        // Using validation stats on a test batch (Appendix A.3.7).
+        let valid = sample_batch();
+        let stats = NormStats::from_batch(&valid);
+        let mut test = vec![vec![0.2, 0.0, 0.4], vec![-0.1, 0.3, 0.6]];
+        let expect: Vec<Vec<f64>> = test
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - stats.mean[j]) / stats.std[j])
+                    .collect()
+            })
+            .collect();
+        stats.apply(&mut test);
+        assert_eq!(test, expect);
+    }
+
+    #[test]
+    fn constant_qubit_does_not_blow_up() {
+        let mut batch = vec![vec![0.5], vec![0.5], vec![0.5]];
+        normalize_batch(&mut batch);
+        assert!(batch.iter().all(|r| r[0].abs() < 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        NormStats::from_batch(&[]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Hyper-parameter selection (paper §4.2).
+//!
+//! "For each benchmark, we experiment with noise factor
+//! `T = {0.1, 0.5, 1, 1.5}` and quantization level among `{3, 4, 5, 6}`
+//! and select one out of 16 combinations with the lowest loss on the
+//! validation set." This module runs that grid: each candidate trains a
+//! fresh model with the full QuantumNAT pipeline, and the winner is the
+//! candidate with the lowest noise-free validation loss.
+
+use crate::forward::{PipelineOptions, QuantizeSpec};
+use crate::model::{NoiseSource, Qnn, QnnConfig};
+use crate::train::{train, AdamConfig, TrainOptions};
+use qnat_data::dataset::Dataset;
+use qnat_noise::device::DeviceModel;
+
+/// One candidate of the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Noise factor `T`.
+    pub t_factor: f64,
+    /// Quantization levels.
+    pub levels: usize,
+}
+
+/// Result of one sweep candidate.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// The candidate.
+    pub point: SweepPoint,
+    /// Validation loss (selection criterion, lower is better).
+    pub valid_loss: f64,
+    /// Validation accuracy (reported, not used for selection).
+    pub valid_acc: f64,
+}
+
+/// Grid + training settings for a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Noise factors to try (paper: `{0.1, 0.5, 1, 1.5}`).
+    pub t_factors: Vec<f64>,
+    /// Quantization levels to try (paper: `{3, 4, 5, 6}`).
+    pub levels: Vec<usize>,
+    /// Optimizer/schedule per candidate.
+    pub adam: AdamConfig,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Quantization penalty weight λ.
+    pub quant_penalty: f64,
+    /// Seed shared by all candidates (fair comparison).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            t_factors: vec![0.1, 0.5, 1.0, 1.5],
+            levels: vec![3, 4, 5, 6],
+            adam: AdamConfig::fast(40),
+            batch_size: 32,
+            quant_penalty: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// The outcome of a sweep: the winning trained model and all records.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The model trained at the winning candidate.
+    pub best_model: Qnn,
+    /// The winning candidate.
+    pub best: SweepPoint,
+    /// Every candidate's record, in grid order.
+    pub records: Vec<SweepRecord>,
+}
+
+/// Runs the §4.2 grid: trains one full-pipeline model per `(T, levels)`
+/// candidate against `device` and selects by validation loss.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or the architecture does not fit the
+/// device.
+pub fn select_hyperparameters(
+    config: QnnConfig,
+    dataset: &Dataset,
+    device: &DeviceModel,
+    sweep: &SweepConfig,
+) -> SweepOutcome {
+    assert!(
+        !sweep.t_factors.is_empty() && !sweep.levels.is_empty(),
+        "empty sweep grid"
+    );
+    let mut records = Vec::with_capacity(sweep.t_factors.len() * sweep.levels.len());
+    let mut best: Option<(f64, SweepPoint, Qnn)> = None;
+    for &t in &sweep.t_factors {
+        for &levels in &sweep.levels {
+            let point = SweepPoint {
+                t_factor: t,
+                levels,
+            };
+            let mut qnn =
+                Qnn::for_device(config, device, sweep.seed).expect("config fits device");
+            let pipeline = PipelineOptions {
+                noise: NoiseSource::GateInsertion {
+                    model: device,
+                    factor: t,
+                },
+                readout: Some(device),
+                normalize: true,
+                quantize: Some(QuantizeSpec::levels(levels)),
+                quant_penalty: sweep.quant_penalty,
+                process_last: false,
+            };
+            let report = train(
+                &mut qnn,
+                dataset,
+                &TrainOptions {
+                    adam: sweep.adam,
+                    batch_size: sweep.batch_size,
+                    pipeline,
+                    seed: sweep.seed,
+                },
+            );
+            records.push(SweepRecord {
+                point,
+                valid_loss: report.valid_loss,
+                valid_acc: report.valid_acc,
+            });
+            let better = match &best {
+                Some((loss, _, _)) => report.valid_loss < *loss,
+                None => true,
+            };
+            if better {
+                best = Some((report.valid_loss, point, qnn));
+            }
+        }
+    }
+    let (_, best_point, best_model) = best.expect("non-empty grid");
+    SweepOutcome {
+        best_model,
+        best: best_point,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnat_data::dataset::{build, Task, TaskConfig};
+    use qnat_noise::presets;
+
+    #[test]
+    fn sweep_selects_lowest_validation_loss() {
+        let dataset = build(Task::Mnist2, &TaskConfig::small(1));
+        let device = presets::yorktown();
+        let sweep = SweepConfig {
+            t_factors: vec![0.1, 1.0],
+            levels: vec![4, 6],
+            adam: AdamConfig::fast(6),
+            ..SweepConfig::default()
+        };
+        let outcome = select_hyperparameters(
+            QnnConfig::standard(16, 2, 2, 2),
+            &dataset,
+            &device,
+            &sweep,
+        );
+        assert_eq!(outcome.records.len(), 4);
+        let min_loss = outcome
+            .records
+            .iter()
+            .map(|r| r.valid_loss)
+            .fold(f64::INFINITY, f64::min);
+        let winner = outcome
+            .records
+            .iter()
+            .find(|r| r.point == outcome.best)
+            .expect("winner recorded");
+        assert!((winner.valid_loss - min_loss).abs() < 1e-12);
+        assert!(outcome.best_model.n_params() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep grid")]
+    fn empty_grid_panics() {
+        let dataset = build(Task::Mnist2, &TaskConfig::small(1));
+        let sweep = SweepConfig {
+            t_factors: vec![],
+            ..SweepConfig::default()
+        };
+        select_hyperparameters(
+            QnnConfig::standard(16, 2, 1, 1),
+            &dataset,
+            &presets::santiago(),
+            &sweep,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # qnat-data — synthetic dataset substrate for QuantumNAT
+//!
+//! Stand-ins for the paper's eight benchmark tasks (MNIST 10/4/2, Fashion
+//! 10/4/2, CIFAR-2, Vowel-4) built from seeded per-class generative
+//! prototypes, with the exact preprocessing pipeline of §4.1: center-crop,
+//! average-pool down-sampling and (for Vowel) a from-scratch PCA to the 10
+//! most significant dimensions.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnat_data::dataset::{build, Task, TaskConfig};
+//! let ds = build(Task::Mnist2, &TaskConfig::small(0));
+//! assert_eq!(ds.n_classes, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod image;
+pub mod pca;
+
+pub use dataset::{build, Dataset, Sample, Task, TaskConfig};

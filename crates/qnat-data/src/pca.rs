@@ -1,0 +1,242 @@
+//! Principal component analysis, implemented from scratch.
+//!
+//! Used for the Vowel-4 task: the paper performs "feature PCA and takes the
+//! 10 most significant dimensions" (§4.1). Eigen-decomposition of the
+//! (symmetric) covariance matrix is done with the cyclic Jacobi rotation
+//! method, which is exact enough and dependency-free for the ≤ 32
+//! dimensions we need.
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Row `k` is the k-th principal axis (unit vector), sorted by
+    /// decreasing eigenvalue.
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+}
+
+/// Jacobi eigen-decomposition of a symmetric matrix (row-major, `n×n`).
+/// Returns `(eigenvalues, eigenvectors)` with eigenvector `k` stored as
+/// column `k` of the returned matrix, unsorted.
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let (akp, akq) = (a[k][p], a[k][q]);
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let (apk, aqk) = (a[p][k], a[q][k]);
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let (vkp, vkq) = (v[k][p], v[k][q]);
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| a[i][i]).collect();
+    (eig, v)
+}
+
+impl Pca {
+    /// Fits PCA on row-major samples, keeping `k` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `k` exceeds the feature dimension.
+    pub fn fit(samples: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let d = samples[0].len();
+        assert!(k <= d, "cannot keep {k} of {d} dimensions");
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            assert_eq!(s.len(), d, "ragged samples");
+            for (m, x) in mean.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut cov = vec![vec![0.0; d]; d];
+        for s in samples {
+            for i in 0..d {
+                let di = s[i] - mean[i];
+                for j in i..d {
+                    cov[i][j] += di * (s[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let (eig, vecs) = jacobi_eigen(cov);
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| eig[b].total_cmp(&eig[a]));
+        let components = order[..k]
+            .iter()
+            .map(|&c| (0..d).map(|r| vecs[r][c]).collect())
+            .collect();
+        let eigenvalues = order[..k].iter().map(|&c| eig[c]).collect();
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Number of kept components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Eigenvalues of the kept components, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Projects one sample onto the kept principal axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(sample.iter().zip(&self.mean))
+                    .map(|(a, (x, m))| a * (x - m))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along (1, 1)/√2 with small orthogonal noise.
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<Vec<f64>> = (0..500)
+            .map(|_| {
+                let t: f64 = rng.gen_range(-2.0..2.0);
+                let n: f64 = rng.gen_range(-0.05..0.05);
+                vec![t + n, t - n]
+            })
+            .collect();
+        let pca = Pca::fit(&samples, 2);
+        let axis = &pca.transform(&[1.0, 1.0]);
+        // First component captures almost everything.
+        assert!(pca.eigenvalues()[0] > 20.0 * pca.eigenvalues()[1]);
+        assert!(axis[0].abs() > 10.0 * axis[1].abs());
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let pca = Pca::fit(&samples, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-8, "({i},{j}) dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_descend() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<Vec<f64>> = (0..300)
+            .map(|_| {
+                (0..5)
+                    .map(|d| rng.gen_range(-1.0..1.0) * (5 - d) as f64)
+                    .collect()
+            })
+            .collect();
+        let pca = Pca::fit(&samples, 5);
+        for w in pca.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let pca = Pca::fit(&samples, 1);
+        // Mean sample maps to 0.
+        let t = pca.transform(&[3.0, 4.0]);
+        assert!(t[0].abs() < 1e-10);
+    }
+
+    #[test]
+    fn total_variance_preserved() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<Vec<f64>> = (0..400)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let d = 4;
+        let pca = Pca::fit(&samples, d);
+        let mut total_var = 0.0;
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; d];
+        for s in &samples {
+            for (m, x) in mean.iter_mut().zip(s) {
+                *m += x / n;
+            }
+        }
+        for s in &samples {
+            for j in 0..d {
+                total_var += (s[j] - mean[j]).powi(2) / n;
+            }
+        }
+        let eig_sum: f64 = pca.eigenvalues().iter().sum();
+        assert!((total_var - eig_sum).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Density-matrix hardware emulator — the "real quantum computer" stand-in.
+//!
+//! Runs a circuit exactly on the density-matrix simulator while applying,
+//! after every physical gate, the device's Pauli error channel *and*
+//! amplitude/phase damping (which the Pauli-twirled training model does not
+//! capture — this is precisely the model/reality gap Table 11 measures).
+//! Measurement applies the per-qubit readout confusion and optionally
+//! finite-shot sampling.
+
+use crate::device::DeviceModel;
+use qnat_sim::channel::Channel1;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::density::DensityMatrix;
+use qnat_sim::measure::sampled_expect_all_z;
+use rand::Rng;
+
+/// A hardware emulator bound to a device model.
+#[derive(Debug, Clone)]
+pub struct HardwareEmulator {
+    model: DeviceModel,
+}
+
+impl HardwareEmulator {
+    /// Creates an emulator for `model`.
+    pub fn new(model: DeviceModel) -> Self {
+        HardwareEmulator { model }
+    }
+
+    /// The underlying device model.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    /// Runs `circuit` with full noise (gate Pauli channels + damping) and
+    /// returns the final mixed state. Readout error is *not* applied here —
+    /// see [`HardwareEmulator::measure_probabilities`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit uses more qubits than the device has.
+    pub fn run(&self, circuit: &Circuit) -> DensityMatrix {
+        assert!(
+            circuit.n_qubits() <= self.model.n_qubits(),
+            "circuit needs {} qubits, device {} has {}",
+            circuit.n_qubits(),
+            self.model.name(),
+            self.model.n_qubits()
+        );
+        let mut rho = DensityMatrix::zero_state(circuit.n_qubits());
+        for g in circuit.gates() {
+            rho.apply_gate(g);
+            // Pauli (twirled) gate error on each affected qubit.
+            for (q, spec) in self.model.gate_errors(g) {
+                if spec.total() > 0.0 {
+                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)
+                        .expect("device model specs are validated");
+                    rho.apply_channel1(q, &ch);
+                }
+            }
+            // Decoherence over the gate duration (both qubits of a 2q gate,
+            // scaled by the longer duration).
+            let dur = if g.arity() == 2 {
+                self.model.tq_duration_factor()
+            } else {
+                1.0
+            };
+            for k in 0..g.arity() {
+                let q = g.qubits[k];
+                let ad = (self.model.amp_damping(q) * dur).min(1.0);
+                let pd = (self.model.phase_damping(q) * dur).min(1.0);
+                if ad > 0.0 {
+                    rho.apply_channel1(
+                        q,
+                        &Channel1::amplitude_damping(ad).expect("validated rate"),
+                    );
+                }
+                if pd > 0.0 {
+                    rho.apply_channel1(q, &Channel1::phase_damping(pd).expect("validated rate"));
+                }
+            }
+        }
+        rho
+    }
+
+    /// Final measurement distribution including readout confusion.
+    pub fn measure_probabilities(&self, circuit: &Circuit) -> Vec<f64> {
+        let rho = self.run(circuit);
+        let mut probs = rho.probabilities();
+        for q in 0..circuit.n_qubits() {
+            self.model
+                .readout_error(q)
+                .apply_to_distribution(&mut probs, q);
+        }
+        probs
+    }
+
+    /// Exact noisy Z expectations per qubit (infinite-shot limit), readout
+    /// error included.
+    pub fn expect_all_z(&self, circuit: &Circuit) -> Vec<f64> {
+        let probs = self.measure_probabilities(circuit);
+        let n = circuit.n_qubits();
+        let mut p1 = vec![0.0f64; n];
+        for (i, &w) in probs.iter().enumerate() {
+            for (q, p) in p1.iter_mut().enumerate() {
+                if i & (1 << q) != 0 {
+                    *p += w;
+                }
+            }
+        }
+        p1.into_iter().map(|p| 1.0 - 2.0 * p).collect()
+    }
+
+    /// Shot-sampled noisy Z expectations per qubit (the paper uses
+    /// `shots = 8192`).
+    pub fn sampled_expect_all_z<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let probs = self.measure_probabilities(circuit);
+        sampled_expect_all_z(&probs, circuit.n_qubits(), shots, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use qnat_sim::gate::Gate;
+    use qnat_sim::statevector::simulate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::ry(0, 0.8));
+        c.push(Gate::sx(1));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::rz(1, 0.4));
+        c
+    }
+
+    #[test]
+    fn noise_free_emulator_matches_statevector() {
+        let c = test_circuit();
+        let emu = HardwareEmulator::new(presets::noise_free(2));
+        let noisy = emu.expect_all_z(&c);
+        let psi = simulate(&c);
+        for q in 0..2 {
+            assert!((noisy[q] - psi.expect_z(q)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn noisier_device_contracts_expectations_more() {
+        // |⟨Z⟩| under noise shrinks toward 0 (γ < 1 in Theorem 3.1), and a
+        // noisier device shrinks it more.
+        let mut c = Circuit::new(1);
+        c.push(Gate::x(0));
+        for _ in 0..10 {
+            c.push(Gate::sx(0));
+            c.push(Gate::sx(0));
+            c.push(Gate::sx(0));
+            c.push(Gate::sx(0)); // four SX = identity, but noisy
+        }
+        let ideal = simulate(&c).expect_z(0);
+        let z_sant = HardwareEmulator::new(presets::santiago()).expect_all_z(&c)[0];
+        let z_york = HardwareEmulator::new(presets::yorktown()).expect_all_z(&c)[0];
+        assert!((ideal + 1.0).abs() < 1e-10);
+        assert!(z_sant > ideal, "santiago contracts |Z|");
+        assert!(z_york > z_sant, "yorktown noisier than santiago");
+    }
+
+    #[test]
+    fn trace_preserved_under_full_noise() {
+        let c = test_circuit();
+        for model in [presets::yorktown(), presets::melbourne()] {
+            let emu = HardwareEmulator::new(model);
+            let rho = emu.run(&c);
+            assert!((rho.trace() - 1.0).abs() < 1e-9);
+            assert!(rho.hermiticity_error() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn measurement_distribution_normalized() {
+        let c = test_circuit();
+        let emu = HardwareEmulator::new(presets::belem());
+        let probs = emu.measure_probabilities(&c);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn sampled_expectations_converge_to_exact() {
+        let c = test_circuit();
+        let emu = HardwareEmulator::new(presets::santiago());
+        let exact = emu.expect_all_z(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sampled = emu.sampled_expect_all_z(&c, 50_000, &mut rng);
+        for q in 0..2 {
+            assert!(
+                (sampled[q] - exact[q]).abs() < 0.03,
+                "q{q}: {} vs {}",
+                sampled[q],
+                exact[q]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit needs")]
+    fn oversized_circuit_panics() {
+        let c = Circuit::new(6);
+        HardwareEmulator::new(presets::santiago()).run(&c);
+    }
+}

@@ -1,0 +1,206 @@
+//! Monte-Carlo trajectory hardware emulator.
+//!
+//! Exact density-matrix emulation scales as 4ⁿ and is impractical beyond
+//! ~7 qubits; the 10-qubit Melbourne experiments instead use quantum
+//! trajectories: each run samples one Kraus outcome per channel on a
+//! statevector (2ⁿ), and averaging over trajectories converges to the
+//! density-matrix result. The noise placement is identical to
+//! [`crate::emulator::HardwareEmulator`]: Pauli gate-error channels plus
+//! amplitude/phase damping after every physical gate, readout confusion at
+//! measurement.
+
+use crate::device::DeviceModel;
+use qnat_sim::channel::Channel1;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::statevector::StateVector;
+use rand::Rng;
+
+/// A trajectory-sampling emulator bound to a device model.
+#[derive(Debug, Clone)]
+pub struct TrajectoryEmulator {
+    model: DeviceModel,
+    /// Trajectories averaged per evaluation.
+    pub n_trajectories: usize,
+}
+
+impl TrajectoryEmulator {
+    /// Creates an emulator averaging `n_trajectories` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trajectories == 0`.
+    pub fn new(model: DeviceModel, n_trajectories: usize) -> Self {
+        assert!(n_trajectories > 0, "need at least one trajectory");
+        TrajectoryEmulator {
+            model,
+            n_trajectories,
+        }
+    }
+
+    /// The underlying device model.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    /// Runs one noisy trajectory and returns the final pure state.
+    pub fn run_one<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
+        let mut psi = StateVector::zero_state(circuit.n_qubits());
+        for g in circuit.gates() {
+            psi.apply(g);
+            for (q, spec) in self.model.gate_errors(g) {
+                if spec.total() > 0.0 {
+                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)
+                        .expect("validated spec");
+                    psi.apply_channel1_sampled(q, &ch, rng);
+                }
+            }
+            let dur = if g.arity() == 2 {
+                self.model.tq_duration_factor()
+            } else {
+                1.0
+            };
+            for k in 0..g.arity() {
+                let q = g.qubits[k];
+                let ad = (self.model.amp_damping(q) * dur).min(1.0);
+                let pd = (self.model.phase_damping(q) * dur).min(1.0);
+                if ad > 0.0 {
+                    psi.apply_channel1_sampled(
+                        q,
+                        &Channel1::amplitude_damping(ad).expect("validated rate"),
+                        rng,
+                    );
+                }
+                if pd > 0.0 {
+                    psi.apply_channel1_sampled(
+                        q,
+                        &Channel1::phase_damping(pd).expect("validated rate"),
+                        rng,
+                    );
+                }
+            }
+        }
+        psi
+    }
+
+    /// Noisy Z expectations averaged over trajectories, readout error
+    /// included.
+    pub fn expect_all_z<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> Vec<f64> {
+        let n = circuit.n_qubits();
+        let mut acc = vec![0.0f64; n];
+        for _ in 0..self.n_trajectories {
+            let psi = self.run_one(circuit, rng);
+            for (q, a) in acc.iter_mut().enumerate() {
+                let z = psi.expect_z(q);
+                *a += self.model.readout_error(q).apply_to_expectation(z);
+            }
+        }
+        acc.into_iter()
+            .map(|a| a / self.n_trajectories as f64)
+            .collect()
+    }
+
+    /// Shot-sampled noisy Z expectations: shots are distributed over the
+    /// trajectories.
+    pub fn sampled_expect_all_z<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(shots > 0, "need at least one shot");
+        let n = circuit.n_qubits();
+        let per_traj = (shots / self.n_trajectories).max(1);
+        let mut acc = vec![0.0f64; n];
+        let mut total = 0usize;
+        for _ in 0..self.n_trajectories {
+            let psi = self.run_one(circuit, rng);
+            let mut probs = psi.probabilities();
+            for q in 0..n {
+                self.model
+                    .readout_error(q)
+                    .apply_to_distribution(&mut probs, q);
+            }
+            let z = qnat_sim::measure::sampled_expect_all_z(&probs, n, per_traj, rng);
+            for (a, v) in acc.iter_mut().zip(&z) {
+                *a += v * per_traj as f64;
+            }
+            total += per_traj;
+        }
+        acc.into_iter().map(|a| a / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::HardwareEmulator;
+    use crate::presets;
+    use qnat_sim::gate::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::ry(0, 0.8));
+        c.push(Gate::sx(1));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::x(0));
+        c
+    }
+
+    #[test]
+    fn trajectories_converge_to_density_matrix() {
+        let c = test_circuit();
+        let model = presets::yorktown().scaled(10.0); // exaggerate noise
+        let exact = HardwareEmulator::new(model.clone()).expect_all_z(&c);
+        let traj = TrajectoryEmulator::new(model, 4000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let approx = traj.expect_all_z(&c, &mut rng);
+        for q in 0..2 {
+            assert!(
+                (approx[q] - exact[q]).abs() < 0.05,
+                "q{q}: trajectory {} vs exact {}",
+                approx[q],
+                exact[q]
+            );
+        }
+    }
+
+    #[test]
+    fn noise_free_trajectory_is_deterministic() {
+        let c = test_circuit();
+        let traj = TrajectoryEmulator::new(presets::noise_free(2), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = traj.expect_all_z(&c, &mut rng);
+        let psi = qnat_sim::statevector::simulate(&c);
+        for q in 0..2 {
+            assert!((z[q] - psi.expect_z(q)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shot_sampling_close_to_exact() {
+        let c = test_circuit();
+        let model = presets::santiago();
+        let traj = TrajectoryEmulator::new(model, 64);
+        let mut rng = StdRng::seed_from_u64(4);
+        let exact = traj.expect_all_z(&c, &mut rng);
+        let sampled = traj.sampled_expect_all_z(&c, 64 * 2048, &mut rng);
+        for q in 0..2 {
+            // Both estimators carry trajectory variance (σ ≈ 0.01); allow
+            // a generous 6σ band to keep the test deterministic-in-practice.
+            assert!(
+                (exact[q] - sampled[q]).abs() < 0.08,
+                "q{q}: {} vs {}",
+                exact[q],
+                sampled[q]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trajectory")]
+    fn zero_trajectories_rejected() {
+        TrajectoryEmulator::new(presets::santiago(), 0);
+    }
+}

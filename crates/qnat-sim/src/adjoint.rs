@@ -1,0 +1,241 @@
+//! Adjoint differentiation of statevector circuits.
+//!
+//! Computes `∂⟨Z_q⟩/∂θ` for every gate parameter in a circuit with a single
+//! forward pass and a single backward sweep (one extra statevector per
+//! observable). This is the gradient engine used for classical training of
+//! QuantumNAT models; [`crate::paramshift`] provides the hardware-compatible
+//! alternative and serves as the validation oracle.
+
+use crate::circuit::{invert_gate, Circuit};
+use crate::gate::GateMatrix;
+use crate::math::C64;
+use crate::statevector::StateVector;
+
+/// Expectations and gradients returned by a differentiation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientResult {
+    /// ⟨Z_q⟩ for each requested observable qubit.
+    pub expectations: Vec<f64>,
+    /// `gradients[obs][k]` = ∂⟨Z_obs⟩/∂θ_k where `k` indexes the circuit's
+    /// flattened parameter list ([`Circuit::param_slots`] order).
+    pub gradients: Vec<Vec<f64>>,
+}
+
+/// Applies the Pauli-Z operator on qubit `q` to a raw state (sign flip on
+/// all amplitudes with bit `q` set).
+fn apply_z(amps: &mut [C64], q: usize) {
+    let bit = 1usize << q;
+    for (i, a) in amps.iter_mut().enumerate() {
+        if i & bit != 0 {
+            *a = -*a;
+        }
+    }
+}
+
+/// Computes ⟨Z_q⟩ and all parameter gradients for the given observable
+/// qubits via the adjoint method.
+///
+/// The circuit is simulated once forward; then gates are undone one at a
+/// time while a co-state per observable accumulates
+/// `∂E/∂θ = 2·Re⟨λ|∂U/∂θ|ψ⟩`.
+///
+/// # Panics
+///
+/// Panics if an observable qubit is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qnat_sim::circuit::Circuit;
+/// use qnat_sim::gate::Gate;
+/// use qnat_sim::adjoint::adjoint_gradients;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::ry(0, 0.3));
+/// let r = adjoint_gradients(&c, &[0]);
+/// // ⟨Z⟩ = cos θ, d⟨Z⟩/dθ = −sin θ.
+/// assert!((r.expectations[0] - 0.3f64.cos()).abs() < 1e-12);
+/// assert!((r.gradients[0][0] + 0.3f64.sin()).abs() < 1e-12);
+/// ```
+pub fn adjoint_gradients(circuit: &Circuit, obs_qubits: &[usize]) -> GradientResult {
+    let n = circuit.n_qubits();
+    for &q in obs_qubits {
+        assert!(q < n, "observable qubit {q} out of range");
+    }
+    let mut psi = StateVector::zero_state(n);
+    psi.run(circuit);
+
+    let expectations: Vec<f64> = obs_qubits.iter().map(|&q| psi.expect_z(q)).collect();
+
+    let slots = circuit.param_slots();
+    let n_params = slots.len();
+    let mut gradients = vec![vec![0.0f64; n_params]; obs_qubits.len()];
+    if n_params == 0 {
+        return GradientResult {
+            expectations,
+            gradients,
+        };
+    }
+
+    // λ_o = Z_o |ψ⟩ for each observable.
+    let mut lambdas: Vec<StateVector> = obs_qubits
+        .iter()
+        .map(|&q| {
+            let mut l = psi.clone();
+            // Safe: we only mutate amplitudes through a scoped copy.
+            let mut amps = l.amplitudes().to_vec();
+            apply_z(&mut amps, q);
+            l = StateVector::from_amplitudes(amps);
+            l
+        })
+        .collect();
+
+    // Map flat parameter index ranges per gate for quick lookup.
+    // slots is sorted by gate index; walk gates from last to first.
+    let gates = circuit.gates();
+    let mut flat_end = n_params; // exclusive end of current gate's params
+    for gi in (0..gates.len()).rev() {
+        let g = &gates[gi];
+        let np = g.kind.param_count();
+        let flat_start = flat_end - np;
+        debug_assert!(slots[flat_start..flat_end].iter().all(|&(i, _)| i == gi));
+
+        // ψ ← U† ψ (now the state before gate gi).
+        let inv = invert_gate(g);
+        psi.apply(&inv);
+
+        if np > 0 {
+            for slot in 0..np {
+                // μ = (∂U/∂θ) ψ.
+                let mut mu_amps = psi.amplitudes().to_vec();
+                match g.d_matrix(slot) {
+                    GateMatrix::One(dm) => {
+                        crate::kernels::apply_mat2(&mut mu_amps, g.qubits[0], &dm)
+                    }
+                    GateMatrix::Two(dm) => crate::kernels::apply_mat4(
+                        &mut mu_amps,
+                        g.qubits[0],
+                        g.qubits[1],
+                        &dm,
+                    ),
+                }
+                for (o, lambda) in lambdas.iter().enumerate() {
+                    let ip: C64 = lambda
+                        .amplitudes()
+                        .iter()
+                        .zip(&mu_amps)
+                        .map(|(l, m)| l.conj() * *m)
+                        .sum();
+                    gradients[o][flat_start + slot] = 2.0 * ip.re;
+                }
+            }
+        }
+
+        // λ ← U† λ.
+        for lambda in &mut lambdas {
+            lambda.apply(&inv);
+        }
+        flat_end = flat_start;
+    }
+
+    GradientResult {
+        expectations,
+        gradients,
+    }
+}
+
+/// Convenience wrapper: gradients of ⟨Z_q⟩ for every qubit in the register.
+pub fn adjoint_all_z(circuit: &Circuit) -> GradientResult {
+    let qubits: Vec<usize> = (0..circuit.n_qubits()).collect();
+    adjoint_gradients(circuit, &qubits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn finite_diff(circuit: &Circuit, obs: &[usize]) -> Vec<Vec<f64>> {
+        let eps = 1e-6;
+        let base = circuit.parameters();
+        let mut grads = vec![vec![0.0; base.len()]; obs.len()];
+        for k in 0..base.len() {
+            let mut cp = circuit.clone();
+            let mut pp = base.clone();
+            pp[k] += eps;
+            cp.set_parameters(&pp);
+            let mut psi_p = StateVector::zero_state(circuit.n_qubits());
+            psi_p.run(&cp);
+            let mut pm = base.clone();
+            pm[k] -= eps;
+            cp.set_parameters(&pm);
+            let mut psi_m = StateVector::zero_state(circuit.n_qubits());
+            psi_m.run(&cp);
+            for (o, &q) in obs.iter().enumerate() {
+                grads[o][k] = (psi_p.expect_z(q) - psi_m.expect_z(q)) / (2.0 * eps);
+            }
+        }
+        grads
+    }
+
+    #[test]
+    fn single_ry_gradient() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::ry(0, 0.9));
+        let r = adjoint_gradients(&c, &[0]);
+        assert!((r.expectations[0] - 0.9f64.cos()).abs() < 1e-12);
+        assert!((r.gradients[0][0] + 0.9f64.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_finite_difference_on_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::ry(0, 0.3));
+        c.push(Gate::rx(1, -0.7));
+        c.push(Gate::u3(2, 0.5, 0.2, -0.4));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cu3(1, 2, 0.8, -0.1, 0.6));
+        c.push(Gate::rzz(0, 2, 0.4));
+        c.push(Gate::h(0));
+        c.push(Gate::crx(2, 0, 1.1));
+        let obs = [0, 1, 2];
+        let r = adjoint_gradients(&c, &obs);
+        let fd = finite_diff(&c, &obs);
+        for o in 0..obs.len() {
+            for k in 0..c.n_params() {
+                assert!(
+                    (r.gradients[o][k] - fd[o][k]).abs() < 1e-5,
+                    "obs {o} param {k}: adjoint {} vs fd {}",
+                    r.gradients[o][k],
+                    fd[o][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unparameterized_circuit_has_empty_gradients() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let r = adjoint_all_z(&c);
+        assert_eq!(r.gradients.len(), 2);
+        assert!(r.gradients[0].is_empty());
+        assert!((r.expectations[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_of_all_qubits_at_once() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::ry(0, 0.4));
+        c.push(Gate::ry(1, 1.3));
+        c.push(Gate::cx(0, 1));
+        let r = adjoint_all_z(&c);
+        let fd = finite_diff(&c, &[0, 1]);
+        for o in 0..2 {
+            for k in 0..2 {
+                assert!((r.gradients[o][k] - fd[o][k]).abs() < 1e-5);
+            }
+        }
+    }
+}

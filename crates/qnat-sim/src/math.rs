@@ -1,0 +1,364 @@
+//! Minimal complex arithmetic used throughout the simulator.
+//!
+//! A tiny, dependency-free `f64` complex type. Only the operations the
+//! simulator needs are provided; the type is `Copy` and all operations are
+//! branch-free so the statevector kernels stay vectorizable.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use qnat_sim::math::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qnat_sim::math::C64;
+    /// let w = C64::cis(std::f64::consts::PI);
+    /// assert!((w.re - (-1.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Returns `true` when both parts are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+/// A dense 2×2 complex matrix in row-major order, used for single-qubit gates
+/// and Kraus operators.
+pub type Mat2 = [[C64; 2]; 2];
+
+/// A dense 4×4 complex matrix in row-major order, used for two-qubit gates.
+pub type Mat4 = [[C64; 4]; 4];
+
+/// Multiplies two 2×2 complex matrices.
+pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut c = [[C64::ZERO; 2]; 2];
+    for (i, row) in c.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    c
+}
+
+/// Conjugate-transpose (dagger) of a 2×2 matrix.
+pub fn mat2_dagger(a: &Mat2) -> Mat2 {
+    [
+        [a[0][0].conj(), a[1][0].conj()],
+        [a[0][1].conj(), a[1][1].conj()],
+    ]
+}
+
+/// Multiplies two 4×4 complex matrices.
+pub fn mat4_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[C64::ZERO; 4]; 4];
+    for (i, row) in c.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for (k, &bk) in b.iter().map(|r| &r[j]).enumerate() {
+                acc += a[i][k] * bk;
+            }
+            *cell = acc;
+        }
+    }
+    c
+}
+
+/// Conjugate-transpose (dagger) of a 4×4 matrix.
+pub fn mat4_dagger(a: &Mat4) -> Mat4 {
+    let mut c = [[C64::ZERO; 4]; 4];
+    for (i, row) in c.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[j][i].conj();
+        }
+    }
+    c
+}
+
+/// Kronecker product of two 2×2 matrices yielding a 4×4 matrix, with `a`
+/// acting on the *high* (most-significant) qubit.
+pub fn kron2(a: &Mat2, b: &Mat2) -> Mat4 {
+    let mut c = [[C64::ZERO; 4]; 4];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                for l in 0..2 {
+                    c[2 * i + k][2 * j + l] = a[i][j] * b[k][l];
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Checks whether a 2×2 matrix is unitary within `tol`.
+pub fn mat2_is_unitary(a: &Mat2, tol: f64) -> bool {
+    let p = mat2_mul(&mat2_dagger(a), a);
+    p[0][0].approx_eq(C64::ONE, tol)
+        && p[1][1].approx_eq(C64::ONE, tol)
+        && p[0][1].approx_eq(C64::ZERO, tol)
+        && p[1][0].approx_eq(C64::ZERO, tol)
+}
+
+/// Checks whether a 4×4 matrix is unitary within `tol`.
+pub fn mat4_is_unitary(a: &Mat4, tol: f64) -> bool {
+    let p = mat4_mul(&mat4_dagger(a), a);
+    for (i, row) in p.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            let want = if i == j { C64::ONE } else { C64::ZERO };
+            if !cell.approx_eq(want, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!((z * z.conj()).re, z.norm_sqr());
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(-z, C64::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            let w = C64::cis(theta);
+            assert!((w.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(-0.25, 0.75);
+        let c = a * b / b;
+        assert!(c.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_is_unitary() {
+        let h = [
+            [C64::real(FRAC_1_SQRT_2), C64::real(FRAC_1_SQRT_2)],
+            [C64::real(FRAC_1_SQRT_2), C64::real(-FRAC_1_SQRT_2)],
+        ];
+        assert!(mat2_is_unitary(&h, 1e-12));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let h = [
+            [C64::real(FRAC_1_SQRT_2), C64::real(FRAC_1_SQRT_2)],
+            [C64::real(FRAC_1_SQRT_2), C64::real(-FRAC_1_SQRT_2)],
+        ];
+        let x = [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]];
+        assert!(mat4_is_unitary(&kron2(&h, &x), 1e-12));
+    }
+
+    #[test]
+    fn dagger_is_involutive() {
+        let m = [
+            [C64::new(0.1, 0.2), C64::new(-0.3, 0.4)],
+            [C64::new(0.5, -0.6), C64::new(0.7, 0.8)],
+        ];
+        let back = mat2_dagger(&mat2_dagger(&m));
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(back[i][j].approx_eq(m[i][j], 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn sum_of_complex_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, -(k as f64))).sum();
+        assert_eq!(total, C64::new(6.0, -6.0));
+    }
+}

@@ -1,0 +1,260 @@
+//! Pauli-string observables.
+//!
+//! General multi-qubit Pauli expectation values `⟨P₁ ⊗ P₂ ⊗ …⟩` for both
+//! pure and mixed states. The QuantumNAT pipeline only measures single-
+//! qubit Z, but Theorem 3.1's proof expands states in the Pauli basis —
+//! these helpers make that expansion testable and support general-basis
+//! measurement extensions.
+
+use crate::density::DensityMatrix;
+use crate::math::C64;
+use crate::statevector::StateVector;
+use std::fmt;
+use std::str::FromStr;
+
+/// One single-qubit Pauli factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A Pauli string over a register, e.g. `ZZIX`.
+///
+/// The leftmost character acts on the *highest* qubit index, matching the
+/// usual ket-notation reading order; `PauliString::from_str("ZI")` on a
+/// 2-qubit register is `Z` on qubit 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    /// Factor on each qubit, indexed by qubit number.
+    factors: Vec<Pauli>,
+}
+
+/// Error returned when parsing a Pauli string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub bad_char: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Pauli character '{}'", self.bad_char)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut factors = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            factors.push(match ch.to_ascii_uppercase() {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                bad => return Err(ParsePauliError { bad_char: bad }),
+            });
+        }
+        Ok(PauliString { factors })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.factors.iter().rev() {
+            write!(
+                f,
+                "{}",
+                match p {
+                    Pauli::I => 'I',
+                    Pauli::X => 'X',
+                    Pauli::Y => 'Y',
+                    Pauli::Z => 'Z',
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl PauliString {
+    /// Builds from per-qubit factors (index = qubit).
+    pub fn new(factors: Vec<Pauli>) -> Self {
+        PauliString { factors }
+    }
+
+    /// A single-qubit Z on `q` over an `n`-qubit register.
+    pub fn single_z(q: usize, n: usize) -> Self {
+        let mut factors = vec![Pauli::I; n];
+        factors[q] = Pauli::Z;
+        PauliString { factors }
+    }
+
+    /// Number of qubits covered.
+    pub fn n_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Applies the string to raw amplitudes: `P|ψ⟩`.
+    fn apply_to(&self, amps: &[C64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; amps.len()];
+        for (i, &a) in amps.iter().enumerate() {
+            // P maps basis state |i⟩ to phase·|j⟩ where X/Y flip bits.
+            let mut j = i;
+            let mut phase = C64::ONE;
+            for (q, p) in self.factors.iter().enumerate() {
+                let bit = (i >> q) & 1;
+                match p {
+                    Pauli::I => {}
+                    Pauli::X => j ^= 1 << q,
+                    Pauli::Y => {
+                        j ^= 1 << q;
+                        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                    }
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            out[j] += phase * a;
+        }
+        out
+    }
+
+    /// Expectation ⟨ψ|P|ψ⟩ on a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register sizes differ.
+    pub fn expectation(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.n_qubits(), psi.n_qubits(), "register size mismatch");
+        let p_psi = self.apply_to(psi.amplitudes());
+        psi.amplitudes()
+            .iter()
+            .zip(&p_psi)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum()
+    }
+
+    /// Expectation `tr(ρP)` on a mixed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register sizes differ.
+    pub fn expectation_density(&self, rho: &DensityMatrix) -> f64 {
+        assert_eq!(self.n_qubits(), rho.n_qubits(), "register size mismatch");
+        // tr(ρP) = Σ_i ⟨i|ρP|i⟩ = Σ_{i,j} ρ[i][j]·P[j][i]; P maps |i⟩ →
+        // phase·|j⟩, i.e. P[j][i] = phase — accumulate directly.
+        let dim = rho.dim();
+        let mut total = C64::ZERO;
+        for i in 0..dim {
+            let mut j = i;
+            let mut phase = C64::ONE;
+            for (q, p) in self.factors.iter().enumerate() {
+                let bit = (i >> q) & 1;
+                match p {
+                    Pauli::I => {}
+                    Pauli::X => j ^= 1 << q,
+                    Pauli::Y => {
+                        j ^= 1 << q;
+                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                    }
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            total += rho.element(i, j) * phase;
+        }
+        total.re
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+    use crate::statevector::simulate;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["Z", "XY", "IZXI", "YYYY"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("AB".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn single_z_matches_expect_z() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::ry(0, 0.7));
+        c.push(Gate::rx(1, -0.4));
+        c.push(Gate::cx(0, 2));
+        let psi = simulate(&c);
+        for q in 0..3 {
+            let p = PauliString::single_z(q, 3);
+            assert!((p.expectation(&psi) - psi.expect_z(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bell_state_correlators() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let psi = simulate(&c);
+        // Bell state: ⟨ZZ⟩ = ⟨XX⟩ = 1, ⟨YY⟩ = −1, ⟨ZI⟩ = 0.
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        let yy: PauliString = "YY".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        assert!((zz.expectation(&psi) - 1.0).abs() < 1e-12);
+        assert!((xx.expectation(&psi) - 1.0).abs() < 1e-12);
+        assert!((yy.expectation(&psi) + 1.0).abs() < 1e-12);
+        assert!(zi.expectation(&psi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_expectation_matches_pure() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::u3(0, 0.5, 0.2, -0.3));
+        c.push(Gate::cry(0, 1, 0.8));
+        let psi = simulate(&c);
+        let rho = DensityMatrix::from_statevector(&psi);
+        for s in ["ZI", "IZ", "XX", "YZ", "XY"] {
+            let p: PauliString = s.parse().unwrap();
+            assert!(
+                (p.expectation(&psi) - p.expectation_density(&rho)).abs() < 1e-10,
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_string_expectation_is_one() {
+        let psi = simulate(&{
+            let mut c = Circuit::new(2);
+            c.push(Gate::h(0));
+            c
+        });
+        let p: PauliString = "II".parse().unwrap();
+        assert!((p.expectation(&psi) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # quantumnat — noise-aware training for robust quantum neural networks
+//!
+//! Umbrella crate for the QuantumNAT reproduction (DAC 2022). Re-exports
+//! the workspace crates:
+//!
+//! * [`sim`] — statevector / density-matrix quantum simulator with adjoint
+//!   and parameter-shift gradients.
+//! * [`noise`] — device noise models, error-gate injection, hardware
+//!   emulators.
+//! * [`compiler`] — transpiler to the IBMQ basis with routing and
+//!   noise-adaptive layout.
+//! * [`autodiff`] — the reverse-mode tape for the classical pipeline.
+//! * [`data`] — synthetic benchmark datasets with the paper's
+//!   preprocessing.
+//! * [`core`] — QuantumNAT itself: the QNN model, post-measurement
+//!   normalization, noise injection, quantization, training and deployment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quantumnat::core::model::{Qnn, QnnConfig};
+//! use quantumnat::noise::presets;
+//!
+//! let device = presets::santiago();
+//! let qnn = Qnn::for_device(QnnConfig::standard(16, 4, 2, 2), &device, 0)?;
+//! assert_eq!(qnn.n_params(), 48);
+//! # Ok::<(), quantumnat::noise::device::InvalidDeviceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qnat_autodiff as autodiff;
+pub use qnat_compiler as compiler;
+pub use qnat_core as core;
+pub use qnat_data as data;
+pub use qnat_noise as noise;
+pub use qnat_sim as sim;
