@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this minimal harness
+//! supports the API subset the workspace benches use: [`Criterion`] with
+//! `bench_function` / `bench_with_input` / `benchmark_group`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of rigorous
+//! statistics it reports the median of a small fixed number of timed
+//! batches — enough to compare orders of magnitude, not to detect
+//! single-digit-percent regressions.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Names one case of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; times the workload.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the total time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then a few timed batches sized so the fastest
+        // workloads still accumulate measurable time.
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        let per_batch = if once < Duration::from_micros(50) {
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)) as u64
+        } else {
+            1
+        }
+        .max(1);
+        const BATCHES: u64 = 5;
+        let start = Instant::now();
+        for _ in 0..BATCHES * per_batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = BATCHES * per_batch;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:50} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!("{label:50} {:>12.2} ns/iter", per_iter);
+    }
+}
+
+/// Top-level benchmark registry (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benches a single named function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Benches a function against one input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.label);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches a named function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Benches a function against one input value within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (`criterion_group!` subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (`criterion_main!` subset).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        g.finish();
+    }
+}

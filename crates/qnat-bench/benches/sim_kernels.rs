@@ -65,12 +65,16 @@ fn bench_hardware_emulator(c: &mut Criterion) {
     let circuit = random_circuit(4, 2);
     let emu = qnat_noise::HardwareEmulator::new(presets::yorktown());
     c.bench_function("hardware_emulator_4q_2layers", |b| {
-        b.iter(|| emu.expect_all_z(&circuit))
+        b.iter(|| emu.expect_all_z(&circuit).expect("emulation succeeds"))
     });
-    let traj = qnat_noise::TrajectoryEmulator::new(presets::yorktown(), 16);
+    let traj = qnat_noise::TrajectoryEmulator::new(presets::yorktown(), 16)
+        .expect("trajectory emulator builds");
     let mut rng = StdRng::seed_from_u64(1);
     c.bench_function("trajectory_emulator_4q_2layers_16traj", |b| {
-        b.iter(|| traj.expect_all_z(&circuit, &mut rng))
+        b.iter(|| {
+            traj.expect_all_z(&circuit, &mut rng)
+                .expect("emulation succeeds")
+        })
     });
 }
 

@@ -34,14 +34,16 @@ fn main() {
         &InferenceBackend::NoiseFree,
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .expect("inference succeeds");
     let noisy = infer(
         &qnn,
         &feats,
         &InferenceBackend::Hardware(&dep),
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .expect("inference succeeds");
     let mut c = clean.block_outputs[0].clone();
     let mut n = noisy.block_outputs[0].clone();
     let mut rows = Vec::new();

@@ -36,14 +36,16 @@ fn benchmark_error_stats(
         &InferenceBackend::NoiseFree,
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .expect("inference succeeds");
     let noisy = infer(
         qnn,
         &feats,
         &InferenceBackend::Hardware(&dep),
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .expect("inference succeeds");
     let errs: Vec<f64> = clean.block_outputs[0]
         .iter()
         .flatten()
@@ -85,7 +87,7 @@ fn train_with(
         pipeline,
         seed: cfg.seed,
     };
-    train(&mut qnn, &dataset, &options);
+    train(&mut qnn, &dataset, &options).expect("training succeeds");
     (qnn, dataset)
 }
 
@@ -111,6 +113,7 @@ fn hw_accuracy(
         },
         &mut rng,
     )
+    .expect("inference succeeds")
     .accuracy(&labels)
 }
 

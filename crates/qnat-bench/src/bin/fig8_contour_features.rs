@@ -70,7 +70,8 @@ fn main() {
                 process_last: false,
             },
             &mut rng,
-        );
+        )
+        .expect("inference succeeds");
         // Last-block outputs → the two features.
         let last = result.block_outputs.last().expect("has blocks");
         let mut z = last.clone();

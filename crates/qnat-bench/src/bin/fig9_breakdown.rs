@@ -56,7 +56,7 @@ fn main() {
             pipeline,
             seed: cfg.seed,
         };
-        train(&mut qnn, &dataset, &options);
+        train(&mut qnn, &dataset, &options).expect("training succeeds");
         let dep = qnn.deploy(&device, 2).expect("deployable");
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xAB);
         let feats: Vec<Vec<f64>> = dataset.test.iter().map(|s| s.features.clone()).collect();
@@ -72,6 +72,7 @@ fn main() {
             },
             &mut rng,
         )
+        .expect("inference succeeds")
         .accuracy(&labels);
         rows.push(vec![label.to_string(), format!("{acc:.2}")]);
     }

@@ -40,6 +40,7 @@ fn main() {
                 &arm_inference_options(Arm::Full, &cfg),
                 &mut rng,
             )
+            .expect("inference succeeds")
             .accuracy(&labels);
             let real_acc = eval_on_hardware(&qnn, &ds, &device, Arm::Full, &cfg, 2);
             rows.push(vec![

@@ -43,7 +43,8 @@ fn main() {
                 &InferenceBackend::Hardware(&dep),
                 Some(cfg.quant),
                 &mut rng,
-            );
+            )
+            .expect("inference succeeds");
             let feats: Vec<Vec<f64>> = ds.test.iter().map(|s| s.features.clone()).collect();
             let labels: Vec<usize> = ds.test.iter().map(|s| s.label).collect();
             let acc_test_stats = infer(
@@ -53,6 +54,7 @@ fn main() {
                 &arm_inference_options(Arm::Full, &cfg),
                 &mut rng,
             )
+            .expect("inference succeeds")
             .accuracy(&labels);
             let acc_valid_stats = infer(
                 &qnn,
@@ -65,6 +67,7 @@ fn main() {
                 },
                 &mut rng,
             )
+            .expect("inference succeeds")
             .accuracy(&labels);
             let s = &stats[0];
             rows.push(vec![

@@ -41,7 +41,9 @@ struct NoisyEvaluator<'a> {
 impl Evaluator for NoisyEvaluator<'_> {
     fn evaluate(&mut self, params: &[f64]) -> Vec<f64> {
         self.template.set_parameters(params);
-        self.emulator.expect_all_z(&self.template)
+        self.emulator
+            .expect_all_z(&self.template)
+            .expect("emulation succeeds")
     }
 }
 
@@ -93,7 +95,9 @@ fn accuracy_on_hardware(
     let correct = data
         .iter()
         .filter(|(x, y)| {
-            let z = emulator.expect_all_z(&toy_circuit(x, params));
+            let z = emulator
+                .expect_all_z(&toy_circuit(x, params))
+                .expect("emulation succeeds");
             predict(&z) == *y
         })
         .count();

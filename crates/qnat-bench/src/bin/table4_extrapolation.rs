@@ -55,7 +55,7 @@ fn block1_outputs(
         .iter()
         .map(|s| {
             let c = repeated_block_circuit(qnn, 0, &s.features, reps);
-            emulator.expect_all_z(&c)
+            emulator.expect_all_z(&c).expect("emulation succeeds")
         })
         .collect()
 }
@@ -83,7 +83,7 @@ fn main() {
                         c.set_parameters(&p);
                         c
                     };
-                    emulator.expect_all_z(&c)
+                    emulator.expect_all_z(&c).expect("emulation succeeds")
                 })
                 .collect();
             accuracy(&apply_head(&logits, qnn.config().n_classes), &labels)

@@ -40,14 +40,16 @@ fn main() {
                 &InferenceBackend::NoiseFree,
                 &InferenceOptions::baseline(),
                 &mut rng,
-            );
+            )
+            .expect("inference succeeds");
             let noisy = infer(
                 &b_qnn,
                 &feats,
                 &InferenceBackend::Hardware(&dep),
                 &InferenceOptions::baseline(),
                 &mut rng,
-            );
+            )
+            .expect("inference succeeds");
             let snr_base = snr(&clean.block_outputs[0], &noisy.block_outputs[0]);
             let mut cn = clean.block_outputs[0].clone();
             let mut nn = noisy.block_outputs[0].clone();

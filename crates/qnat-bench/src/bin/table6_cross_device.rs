@@ -51,7 +51,7 @@ fn main() {
                 },
                 seed: cfg.seed,
             };
-            train(&mut qnn, &dataset, &options);
+            train(&mut qnn, &dataset, &options).expect("training succeeds");
             qnn
         })
         .collect();
@@ -75,6 +75,7 @@ fn main() {
                 },
                 &mut rng,
             )
+            .expect("inference succeeds")
             .accuracy(&labels);
             row.push(format!("{acc:.2}"));
         }

@@ -62,7 +62,7 @@ fn main() {
                         pipeline,
                         seed: cfg.seed,
                     };
-                    train(&mut qnn, &dataset, &options);
+                    train(&mut qnn, &dataset, &options).expect("training succeeds");
                     let dep = qnn.deploy(&device, 2).expect("deployable");
                     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x88);
                     let feats: Vec<Vec<f64>> =
@@ -85,6 +85,7 @@ fn main() {
                         &opts,
                         &mut rng,
                     )
+                    .expect("inference succeeds")
                     .accuracy(&labels);
                     accs.push(acc);
                 }

@@ -204,7 +204,7 @@ pub fn train_arm(
         pipeline,
         seed: cfg.seed,
     };
-    let report = train(&mut qnn, &dataset, &options);
+    let report = train(&mut qnn, &dataset, &options).expect("validation pass succeeds");
     (qnn, dataset, report)
 }
 
@@ -245,7 +245,8 @@ pub fn eval_on_hardware(
         &InferenceBackend::Hardware(&dep),
         &arm_inference_options(arm, cfg),
         &mut rng,
-    );
+    )
+    .expect("hardware inference succeeds");
     result.accuracy(&labels)
 }
 
@@ -260,7 +261,8 @@ pub fn eval_noise_free(qnn: &Qnn, dataset: &Dataset, arm: Arm, cfg: &RunConfig) 
         &InferenceBackend::NoiseFree,
         &arm_inference_options(arm, cfg),
         &mut rng,
-    );
+    )
+    .expect("noise-free inference succeeds");
     result.accuracy(&labels)
 }
 

@@ -178,7 +178,13 @@ pub fn noise_adaptive_layout(circuit: &Circuit, model: &DeviceModel) -> Layout {
             }
         }
     }
-    let window = best_window.expect("device has a connected window of the required size");
+    // A device without a large-enough connected region degrades to the
+    // trivial layout; routing then reports the unmappable pairs instead of
+    // this pass panicking.
+    let window = match best_window {
+        Some(w) => w,
+        None => return Layout::trivial(n_log),
+    };
     // Assign the most two-qubit-active logical qubits to the best physical
     // qubits in the window.
     let mut activity = vec![0usize; n_log];
@@ -226,14 +232,18 @@ pub fn route(circuit: &Circuit, model: &DeviceModel, layout: &Layout) -> (Circui
                     // Walk `la`'s physical qubit toward `lb`'s with SWAPs.
                     loop {
                         let (pa, pb) = (phys_of[la], phys_of[lb]);
-                        if dist[pa][pb] <= 1 {
+                        // `<= 1` reaches coupled pairs; an unreachable pair
+                        // (disconnected graph) would otherwise swap forever.
+                        if dist[pa][pb] <= 1 || dist[pa][pb] == usize::MAX {
                             break;
                         }
-                        // Move pa one step along a shortest path to pb.
-                        let next = *adj[pa]
-                            .iter()
-                            .min_by_key(|&&v| dist[v][pb])
-                            .expect("connected path exists");
+                        // Move pa one step along a shortest path to pb. An
+                        // isolated qubit has no step to take; emit the gate
+                        // as-is and let backend validation flag the pair.
+                        let next = match adj[pa].iter().min_by_key(|&&v| dist[v][pb]) {
+                            Some(&v) => v,
+                            None => break,
+                        };
                         out.push(Gate::swap(pa, next));
                         // Whichever logical qubit lived on `next` moves to pa.
                         for p in phys_of.iter_mut() {

@@ -93,22 +93,27 @@ pub fn route_and_window(
     }
     window.sort_unstable();
     let device_view = model.subdevice(&window)?;
+    let window_index = |p: usize| -> Result<usize, InvalidDeviceError> {
+        window
+            .iter()
+            .position(|&w| w == p)
+            .ok_or_else(|| InvalidDeviceError {
+                reason: format!("physical qubit {p} missing from window {window:?}"),
+            })
+    };
     let mut windowed = Circuit::new(window.len());
     for g in routed_full.gates() {
         let mut wg = *g;
         for k in 0..g.arity() {
-            wg.qubits[k] = window
-                .iter()
-                .position(|&p| p == g.qubits[k])
-                .expect("window covers all touched qubits");
+            wg.qubits[k] = window_index(g.qubits[k])?;
         }
         windowed.push(wg);
     }
     let layout: Vec<usize> = final_layout
         .physical
         .iter()
-        .map(|&p| window.iter().position(|&w| w == p).expect("in window"))
-        .collect();
+        .map(|&p| window_index(p))
+        .collect::<Result<_, _>>()?;
     Ok((windowed, window, layout, device_view))
 }
 

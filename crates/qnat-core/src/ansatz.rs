@@ -77,7 +77,7 @@ impl DesignSpace {
         let ring = ring_pairs(n).len();
         match self {
             DesignSpace::U3Cu3 => {
-                if layer_idx % 2 == 0 {
+                if layer_idx.is_multiple_of(2) {
                     3 * n
                 } else {
                     3 * ring
@@ -105,7 +105,7 @@ impl DesignSpace {
         let ring = ring_pairs(n);
         match self {
             DesignSpace::U3Cu3 => {
-                if layer_idx % 2 == 0 {
+                if layer_idx.is_multiple_of(2) {
                     for q in 0..n {
                         circuit.push(Gate::u3(q, 0.0, 0.0, 0.0));
                     }

@@ -1,0 +1,507 @@
+//! Resilient circuit execution: retry with exponential backoff, typed
+//! failure accounting, and graceful degradation to a fallback backend.
+//!
+//! Real cloud QPUs reject jobs transiently, time out in queues and drift
+//! between calibrations. [`ResilientExecutor`] wraps a primary
+//! [`QuantumBackend`] (plus an optional fallback, typically the
+//! Pauli-twirled noise-model simulator — Table 11 shows it tracks hardware
+//! within a few accuracy points) and drives every job through a
+//! retry/backoff loop:
+//!
+//! 1. validate the circuit once — deterministic rejections never retry;
+//! 2. attempt the primary up to [`RetryPolicy::max_attempts`] times, with
+//!    exponentially growing, deterministically jittered backoff between
+//!    attempts (a *virtual* clock: the executor records the backoff it
+//!    would have slept in the [`ExecutionReport`] instead of stalling the
+//!    test suite);
+//! 3. on exhaustion, serve the job from the fallback and count a
+//!    `fallback_jobs`; after [`RetryPolicy::max_consecutive_failures`]
+//!    consecutive exhaustions the executor *degrades permanently* and stops
+//!    submitting to the primary at all.
+//!
+//! Every decision is recorded in the structured [`ExecutionReport`] that
+//! inference surfaces to the caller.
+
+use qnat_noise::backend::{BackendError, Measurements, QuantumBackend};
+use qnat_sim::circuit::Circuit;
+use std::fmt;
+
+/// SplitMix64 — hashes (seed, job, attempt) into a jitter draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Retry/backoff/degradation policy of a [`ResilientExecutor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per job on the primary backend (≥ 1).
+    pub max_attempts: usize,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling on a single backoff interval, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter amplitude: each backoff is scaled by a deterministic factor
+    /// in `[1 − jitter, 1 + jitter]` to decorrelate retry storms.
+    pub jitter: f64,
+    /// Consecutive jobs that must exhaust their retries before the
+    /// executor permanently degrades to the fallback backend.
+    pub max_consecutive_failures: usize,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 250,
+            max_backoff_ms: 8_000,
+            jitter: 0.25,
+            max_consecutive_failures: 3,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and degrades after the first failed job.
+    pub fn fail_fast() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            max_consecutive_failures: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry `retry` (0-based) of job `job`: exponential in
+    /// the retry index, capped at [`RetryPolicy::max_backoff_ms`], jittered
+    /// deterministically by `(jitter_seed, job, retry)`.
+    pub fn backoff_ms(&self, job: u64, retry: u32) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64.checked_shl(retry.min(32)).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms);
+        let h = splitmix64(self.jitter_seed ^ splitmix64(job.wrapping_mul(0x1_0001).wrapping_add(retry as u64)));
+        // 53-bit mantissa draw in [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
+        (exp as f64 * factor).round().max(0.0) as u64
+    }
+}
+
+/// One recorded failure: which job, which attempt, what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Job index on this executor.
+    pub job: u64,
+    /// 1-based attempt number within the job.
+    pub attempt: usize,
+    /// The typed error that occurred.
+    pub error: BackendError,
+}
+
+impl fmt::Display for FailureRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} attempt {}: {}", self.job, self.attempt, self.error)
+    }
+}
+
+/// Structured account of everything a [`ResilientExecutor`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionReport {
+    /// Jobs submitted to the executor.
+    pub jobs: usize,
+    /// Attempts made on the primary backend (≥ retries).
+    pub attempts: usize,
+    /// Retries after a retryable failure.
+    pub retries: usize,
+    /// Jobs ultimately served by the fallback backend.
+    pub fallback_jobs: usize,
+    /// Whether the executor permanently degraded to the fallback.
+    pub degraded: bool,
+    /// Virtual milliseconds of backoff that real deployment would have
+    /// slept.
+    pub total_backoff_ms: u64,
+    /// Shots short of the requested budget, summed over truncated jobs.
+    pub shot_shortfall: usize,
+    /// Every failure observed, in order.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl ExecutionReport {
+    /// Folds another report (e.g. a different block's executor) into this
+    /// one. `degraded` is sticky: any degraded part degrades the whole.
+    pub fn merge(&mut self, other: &ExecutionReport) {
+        self.jobs += other.jobs;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.fallback_jobs += other.fallback_jobs;
+        self.degraded |= other.degraded;
+        self.total_backoff_ms += other.total_backoff_ms;
+        self.shot_shortfall += other.shot_shortfall;
+        self.failures.extend(other.failures.iter().cloned());
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs, {} attempts ({} retries, {} ms backoff), {} fallback jobs{}",
+            self.jobs,
+            self.attempts,
+            self.retries,
+            self.total_backoff_ms,
+            self.fallback_jobs,
+            if self.degraded { ", DEGRADED" } else { "" }
+        )
+    }
+}
+
+/// A retrying, degradable front-end over one or two [`QuantumBackend`]s.
+pub struct ResilientExecutor {
+    primary: Box<dyn QuantumBackend>,
+    fallback: Option<Box<dyn QuantumBackend>>,
+    policy: RetryPolicy,
+    consecutive_failures: usize,
+    job_index: u64,
+    report: ExecutionReport,
+}
+
+impl fmt::Debug for ResilientExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientExecutor")
+            .field("primary", &self.primary.name())
+            .field("fallback", &self.fallback.as_ref().map(|b| b.name()))
+            .field("policy", &self.policy)
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+impl ResilientExecutor {
+    /// An executor with no fallback: jobs that exhaust their retries fail.
+    pub fn new(primary: Box<dyn QuantumBackend>, policy: RetryPolicy) -> Self {
+        ResilientExecutor {
+            primary,
+            fallback: None,
+            policy,
+            consecutive_failures: 0,
+            job_index: 0,
+            report: ExecutionReport::default(),
+        }
+    }
+
+    /// An executor that degrades to `fallback` when the primary keeps
+    /// failing.
+    pub fn with_fallback(
+        primary: Box<dyn QuantumBackend>,
+        fallback: Box<dyn QuantumBackend>,
+        policy: RetryPolicy,
+    ) -> Self {
+        ResilientExecutor {
+            fallback: Some(fallback),
+            ..ResilientExecutor::new(primary, policy)
+        }
+    }
+
+    /// The accumulated execution report.
+    pub fn report(&self) -> &ExecutionReport {
+        &self.report
+    }
+
+    /// `true` once the executor has permanently switched to the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.report.degraded
+    }
+
+    /// Name of the backend currently serving jobs.
+    pub fn active_backend(&self) -> &str {
+        match (&self.fallback, self.report.degraded) {
+            (Some(fb), true) => fb.name(),
+            _ => self.primary.name(),
+        }
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn run_fallback(
+        &mut self,
+        circuit: &Circuit,
+        shots: Option<usize>,
+    ) -> Option<Result<Measurements, BackendError>> {
+        let fb = self.fallback.as_mut()?;
+        self.report.fallback_jobs += 1;
+        Some(fb.execute(circuit, shots))
+    }
+
+    /// Submits one job: validate, retry the primary with backoff, then
+    /// degrade to the fallback if the primary keeps failing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error, or the last [`BackendError`] once the
+    /// retry budget is exhausted and no fallback is available (or the
+    /// fallback itself fails).
+    pub fn execute(
+        &mut self,
+        circuit: &Circuit,
+        shots: Option<usize>,
+    ) -> Result<Measurements, BackendError> {
+        let job = self.job_index;
+        self.job_index += 1;
+        self.report.jobs += 1;
+        // Validation failures are deterministic — retries and fallbacks
+        // (same register/coupling) would fail identically.
+        self.primary.validate(circuit)?;
+        if self.report.degraded {
+            if let Some(res) = self.run_fallback(circuit, shots) {
+                return res;
+            }
+        }
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..max_attempts {
+            self.report.attempts += 1;
+            match self.primary.execute(circuit, shots) {
+                Ok(m) => {
+                    self.consecutive_failures = 0;
+                    if let (Some(req), Some(used)) = (shots, m.shots_used) {
+                        self.report.shot_shortfall += req.saturating_sub(used);
+                    }
+                    return Ok(m);
+                }
+                Err(e) => {
+                    self.report.failures.push(FailureRecord {
+                        job,
+                        attempt: attempt + 1,
+                        error: e.clone(),
+                    });
+                    if !e.is_retryable() {
+                        // Deterministic mid-execution failure: retrying is
+                        // pointless, but the fallback backend may still
+                        // serve the job (it counts toward degradation).
+                        last_err = Some(e);
+                        break;
+                    }
+                    if attempt + 1 < max_attempts {
+                        self.report.retries += 1;
+                        self.report.total_backoff_ms +=
+                            self.policy.backoff_ms(job, attempt as u32);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        self.consecutive_failures += 1;
+        if self.fallback.is_some()
+            && self.consecutive_failures >= self.policy.max_consecutive_failures.max(1)
+        {
+            self.report.degraded = true;
+        }
+        match self.run_fallback(circuit, shots) {
+            Some(res) => res,
+            // `last_err` is always set here: the loop above runs at least
+            // once and only exits with an error recorded.
+            None => Err(last_err.unwrap_or(BackendError::InvalidConfig {
+                reason: "retry loop exited without attempting".into(),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnat_noise::backend::SimulatorBackend;
+    use qnat_noise::fault::{FaultSpec, FaultyBackend};
+    use qnat_noise::presets;
+    use qnat_sim::gate::Gate;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_and_monotone_in_expectation() {
+        let p = RetryPolicy::default();
+        for job in 0..20u64 {
+            for retry in 0..8u32 {
+                let exp = (p.base_backoff_ms << retry.min(32)).min(p.max_backoff_ms);
+                let lo = (exp as f64 * (1.0 - p.jitter)).floor() as u64;
+                let hi = (exp as f64 * (1.0 + p.jitter)).ceil() as u64;
+                let b = p.backoff_ms(job, retry);
+                assert!(
+                    (lo..=hi).contains(&b),
+                    "job {job} retry {retry}: {b} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_varied() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(3, 1), p.backoff_ms(3, 1));
+        let draws: Vec<u64> = (0..16).map(|j| p.backoff_ms(j, 1)).collect();
+        let distinct: std::collections::HashSet<u64> = draws.iter().copied().collect();
+        assert!(distinct.len() > 8, "jitter should vary across jobs: {draws:?}");
+    }
+
+    #[test]
+    fn clean_backend_needs_one_attempt_per_job() {
+        let mut ex =
+            ResilientExecutor::new(Box::new(SimulatorBackend::new(0)), RetryPolicy::default());
+        for _ in 0..5 {
+            ex.execute(&bell(), None).unwrap();
+        }
+        let r = ex.report();
+        assert_eq!((r.jobs, r.attempts, r.retries), (5, 5, 0));
+        assert!(!r.degraded && r.failures.is_empty());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        // 30% transient faults, 4 attempts: P(all 4 fail) ≈ 0.8% per job.
+        let faulty = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(0.3, 11));
+        let mut ex = ResilientExecutor::new(Box::new(faulty), RetryPolicy::default());
+        let mut ok = 0;
+        for _ in 0..40 {
+            if ex.execute(&bell(), None).is_ok() {
+                ok += 1;
+            }
+        }
+        let r = ex.report();
+        assert!(ok >= 38, "retries should absorb most faults: {ok}/40");
+        assert!(r.retries > 0, "some retries must have happened");
+        assert_eq!(r.retries as u64, r.failures.iter().filter(|f| f.attempt < ex.policy.max_attempts).count() as u64);
+        assert!(r.total_backoff_ms > 0);
+    }
+
+    #[test]
+    fn validation_errors_do_not_consume_attempts() {
+        let mut ex =
+            ResilientExecutor::new(Box::new(SimulatorBackend::new(0)), RetryPolicy::default());
+        let mut c = Circuit::new(1);
+        c.push(Gate::ry(0, f64::NAN));
+        let err = ex.execute(&c, None).unwrap_err();
+        assert!(matches!(err, BackendError::NonFiniteParameter { .. }));
+        assert_eq!(ex.report().attempts, 0);
+        assert_eq!(ex.report().retries, 0);
+    }
+
+    #[test]
+    fn always_failing_primary_degrades_to_fallback() {
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(broken),
+            Box::new(SimulatorBackend::new(1)),
+            RetryPolicy {
+                max_attempts: 2,
+                max_consecutive_failures: 3,
+                ..RetryPolicy::default()
+            },
+        );
+        for job in 0..6 {
+            let m = ex.execute(&bell(), None).unwrap();
+            assert_eq!(m.expectations.len(), 2, "job {job} still served");
+        }
+        let r = ex.report();
+        assert!(r.degraded, "3 consecutive exhausted jobs must degrade");
+        assert_eq!(r.fallback_jobs, 6, "every job fell back");
+        // After degradation (job 3 onward) the primary is never attempted:
+        // 3 jobs × 2 attempts, then zero.
+        assert_eq!(r.attempts, 6);
+        assert_eq!(ex.active_backend(), "statevector-simulator");
+    }
+
+    #[test]
+    fn exhausted_retries_without_fallback_return_last_error() {
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::new(
+            Box::new(broken),
+            RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+        );
+        let err = ex.execute(&bell(), None).unwrap_err();
+        assert!(err.is_retryable(), "last error surfaced: {err}");
+        assert_eq!(ex.report().attempts, 3);
+        assert_eq!(ex.report().failures.len(), 3);
+        assert!(!ex.report().degraded, "no fallback → no degradation");
+    }
+
+    #[test]
+    fn shot_shortfall_is_accounted() {
+        let truncating = FaultyBackend::new(
+            SimulatorBackend::new(0),
+            FaultSpec {
+                shot_truncation_rate: 1.0,
+                shot_truncation_factor: 0.25,
+                ..FaultSpec::none()
+            },
+        );
+        let mut ex = ResilientExecutor::new(Box::new(truncating), RetryPolicy::default());
+        let m = ex.execute(&bell(), Some(8192)).unwrap();
+        assert_eq!(m.shots_used, Some(2048));
+        assert_eq!(ex.report().shot_shortfall, 8192 - 2048);
+    }
+
+    #[test]
+    fn reports_merge_across_executors() {
+        let mut a = ExecutionReport {
+            jobs: 2,
+            attempts: 3,
+            retries: 1,
+            total_backoff_ms: 500,
+            ..ExecutionReport::default()
+        };
+        let b = ExecutionReport {
+            jobs: 1,
+            attempts: 2,
+            retries: 1,
+            degraded: true,
+            fallback_jobs: 1,
+            total_backoff_ms: 250,
+            ..ExecutionReport::default()
+        };
+        a.merge(&b);
+        assert_eq!((a.jobs, a.attempts, a.retries, a.fallback_jobs), (3, 5, 2, 1));
+        assert!(a.degraded);
+        assert_eq!(a.total_backoff_ms, 750);
+    }
+
+    #[test]
+    fn noise_model_fallback_keeps_serving_hardware_jobs() {
+        // Hardware emulator that always times out degrades to the
+        // noise-model backend, which still yields physical expectations.
+        use qnat_noise::backend::{EmulatorBackend, NoiseModelBackend};
+        let view = presets::santiago().subdevice(&[0, 1]).unwrap();
+        let hw = FaultyBackend::new(
+            EmulatorBackend::new(&view, 0).unwrap(),
+            FaultSpec {
+                timeout_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        );
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(hw),
+            Box::new(NoiseModelBackend::new(&view, 1).unwrap()),
+            RetryPolicy::fail_fast(),
+        );
+        let m = ex.execute(&bell(), None).unwrap();
+        assert!(m.expectations.iter().all(|z| z.is_finite() && z.abs() <= 1.0));
+        assert!(ex.is_degraded());
+        assert!(ex.active_backend().starts_with("noise-model"));
+    }
+}

@@ -7,19 +7,40 @@
 //! hardware emulator with readout error and optional finite shots, and the
 //! measurement outcomes pass through post-measurement normalization (batch
 //! or validation statistics) and quantization before re-upload.
+//!
+//! Two deployment shapes exist:
+//!
+//! * [`Qnn::deploy`] — the direct emulator path, which surfaces any
+//!   [`BackendError`] to the caller.
+//! * [`Qnn::deploy_resilient`] — every block runs behind a
+//!   [`ResilientExecutor`] (retry/backoff, optional fault injection, and
+//!   graceful degradation from the hardware emulator to the Pauli
+//!   noise-model simulator). [`infer`] surfaces the merged
+//!   [`ExecutionReport`] on the result.
+//!
+//! The whole pipeline is fallible: [`infer`] returns [`InferError`] instead
+//! of panicking, so a flaky backend can never take down a deployment loop.
 
+use crate::executor::{ExecutionReport, ResilientExecutor, RetryPolicy};
 use crate::forward::QuantizeSpec;
 use crate::head::apply_head;
 use crate::model::{NoiseSource, Qnn};
-use crate::normalize::{normalize_batch, NormStats};
+use crate::normalize::{try_normalize_batch, NormError, NormStats};
 use qnat_autodiff::tape::quantize_value;
 use qnat_compiler::mapping::{noise_adaptive_layout, Layout};
 use qnat_compiler::symbolic::{lower_symbolic, SymbolicLowered};
 use qnat_compiler::transpile::route_and_window;
+use qnat_noise::backend::{BackendError, EmulatorBackend, NoiseModelBackend, QuantumBackend};
 use qnat_noise::device::{DeviceModel, InvalidDeviceError};
 use qnat_noise::emulator::HardwareEmulator;
+use qnat_noise::fault::{FaultSpec, FaultyBackend};
 use qnat_noise::trajectory::TrajectoryEmulator;
 use rand::Rng;
+use std::cell::RefCell;
+use std::error::Error;
+use std::fmt;
+
+pub use qnat_noise::backend::{DEFAULT_TRAJECTORIES, DENSITY_MATRIX_LIMIT};
 
 /// How normalization statistics are obtained at inference time.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +87,58 @@ impl InferenceOptions {
     }
 }
 
+/// Why an inference run could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferError {
+    /// A backend job failed past every retry and fallback.
+    Backend(BackendError),
+    /// Normalization statistics could not be computed (empty/ragged batch
+    /// or non-finite outcomes leaking from a fault).
+    Norm(NormError),
+    /// `FixedStats` supplied the wrong number of per-block statistics.
+    StatsMismatch {
+        /// Blocks that needed statistics.
+        expected: usize,
+        /// Statistics provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::Backend(e) => write!(f, "backend failure: {e}"),
+            InferError::Norm(e) => write!(f, "normalization failure: {e}"),
+            InferError::StatsMismatch { expected, got } => write!(
+                f,
+                "need one NormStats per processed block ({expected}), got {got}"
+            ),
+        }
+    }
+}
+
+impl Error for InferError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InferError::Backend(e) => Some(e),
+            InferError::Norm(e) => Some(e),
+            InferError::StatsMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<BackendError> for InferError {
+    fn from(e: BackendError) -> Self {
+        InferError::Backend(e)
+    }
+}
+
+impl From<NormError> for InferError {
+    fn from(e: NormError) -> Self {
+        InferError::Norm(e)
+    }
+}
+
 /// Result of an inference run.
 #[derive(Debug, Clone)]
 pub struct InferenceResult {
@@ -74,6 +147,10 @@ pub struct InferenceResult {
     /// Raw (pre-normalization) measurement outcomes of each block:
     /// `block_outputs[block][sample][qubit]`.
     pub block_outputs: Vec<Vec<Vec<f64>>>,
+    /// Cumulative execution report of the resilient executors (present
+    /// only for [`InferenceBackend::Resilient`] — retries, virtual backoff
+    /// and degradation events since the model was deployed).
+    pub report: Option<ExecutionReport>,
 }
 
 impl InferenceResult {
@@ -82,13 +159,6 @@ impl InferenceResult {
         crate::metrics::accuracy(&self.logits, labels)
     }
 }
-
-/// Window registers up to this size use the exact density-matrix emulator;
-/// larger ones fall back to Monte-Carlo trajectories.
-pub const DENSITY_MATRIX_LIMIT: usize = 7;
-
-/// Default trajectory count for large-register emulation.
-pub const DEFAULT_TRAJECTORIES: usize = 48;
 
 /// The physical backend a deployed block runs on.
 #[derive(Debug, Clone)]
@@ -100,7 +170,11 @@ enum BlockEmulator {
 }
 
 impl BlockEmulator {
-    fn expect_all_z<R: Rng>(&self, c: &qnat_sim::Circuit, rng: &mut R) -> Vec<f64> {
+    fn expect_all_z<R: Rng>(
+        &self,
+        c: &qnat_sim::Circuit,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, BackendError> {
         match self {
             BlockEmulator::Density(e) => e.expect_all_z(c),
             BlockEmulator::Trajectory(e) => e.expect_all_z(c, rng),
@@ -112,7 +186,7 @@ impl BlockEmulator {
         c: &qnat_sim::Circuit,
         shots: usize,
         rng: &mut R,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, BackendError> {
         match self {
             BlockEmulator::Density(e) => e.sampled_expect_all_z(c, shots, rng),
             BlockEmulator::Trajectory(e) => e.sampled_expect_all_z(c, shots, rng),
@@ -138,24 +212,71 @@ pub struct DeployedQnn<'a> {
     pub shots: Option<usize>,
 }
 
-impl<'a> DeployedQnn<'a> {
+impl DeployedQnn<'_> {
     /// Per-block expectation evaluation on the emulator.
     fn eval_block<R: Rng>(
         &self,
         block_idx: usize,
         inputs: &[f64],
         rng: &mut R,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, BackendError> {
         let block = &self.qnn.blocks()[block_idx];
         let dep = &self.blocks[block_idx];
         let mut params = block.encoder.angles(inputs);
         params.extend_from_slice(self.qnn.block_params(block_idx));
         let bound = dep.lowered.bind(&params);
         let window_z = match self.shots {
-            Some(s) => dep.emulator.sampled_expect_all_z(&bound, s, rng),
-            None => dep.emulator.expect_all_z(&bound, rng),
+            Some(s) => dep.emulator.sampled_expect_all_z(&bound, s, rng)?,
+            None => dep.emulator.expect_all_z(&bound, rng)?,
         };
-        dep.obs.iter().map(|&w| window_z[w]).collect()
+        Ok(dep.obs.iter().map(|&w| window_z[w]).collect())
+    }
+}
+
+/// One block behind a retrying, degradable executor.
+struct ResilientBlock {
+    lowered: SymbolicLowered,
+    obs: Vec<usize>,
+    // `infer` takes the backend by shared reference while the executor
+    // mutates its RNGs, job counters and report — hence interior
+    // mutability. Inference is single-threaded per deployment.
+    executor: RefCell<ResilientExecutor>,
+}
+
+/// A QNN deployed behind per-block [`ResilientExecutor`]s: the hardware
+/// emulator as primary, the Pauli noise-model simulator as graceful
+/// fallback, with optional injected faults for robustness studies.
+pub struct ResilientQnn<'a> {
+    qnn: &'a Qnn,
+    blocks: Vec<ResilientBlock>,
+    /// Finite-shot sampling (`None` = exact expectations).
+    pub shots: Option<usize>,
+}
+
+impl ResilientQnn<'_> {
+    fn eval_block(&self, block_idx: usize, inputs: &[f64]) -> Result<Vec<f64>, BackendError> {
+        let block = &self.qnn.blocks()[block_idx];
+        let dep = &self.blocks[block_idx];
+        let mut params = block.encoder.angles(inputs);
+        params.extend_from_slice(self.qnn.block_params(block_idx));
+        let bound = dep.lowered.bind(&params);
+        let m = dep.executor.borrow_mut().execute(&bound, self.shots)?;
+        Ok(dep.obs.iter().map(|&w| m.expectations[w]).collect())
+    }
+
+    /// Merged execution report across all block executors (cumulative
+    /// since deployment).
+    pub fn report(&self) -> ExecutionReport {
+        let mut merged = ExecutionReport::default();
+        for b in &self.blocks {
+            merged.merge(b.executor.borrow().report());
+        }
+        merged
+    }
+
+    /// `true` if any block has permanently degraded to its fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.blocks.iter().any(|b| b.executor.borrow().is_degraded())
     }
 }
 
@@ -174,20 +295,16 @@ impl Qnn {
     ) -> Result<DeployedQnn<'a>, InvalidDeviceError> {
         let mut blocks = Vec::with_capacity(self.blocks().len());
         for block in self.blocks() {
-            let layout = if opt_level >= 3 {
-                noise_adaptive_layout(&block.logical, device)
-            } else {
-                Layout::trivial(self.config().n_qubits)
-            };
-            let (windowed, _window, obs, view) =
-                route_and_window(&block.logical, device, &layout)?;
+            let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
             let emulator = if view.n_qubits() <= DENSITY_MATRIX_LIMIT {
                 BlockEmulator::Density(HardwareEmulator::new(view))
             } else {
-                BlockEmulator::Trajectory(TrajectoryEmulator::new(
-                    view,
-                    DEFAULT_TRAJECTORIES,
-                ))
+                BlockEmulator::Trajectory(
+                    TrajectoryEmulator::new(view, DEFAULT_TRAJECTORIES)
+                        .map_err(|e| InvalidDeviceError {
+                            reason: e.to_string(),
+                        })?,
+                )
             };
             blocks.push(DeployedBlock {
                 lowered: lower_symbolic(&windowed),
@@ -201,6 +318,89 @@ impl Qnn {
             shots: None,
         })
     }
+
+    /// Transpiles the model for a device and places every block behind a
+    /// [`ResilientExecutor`]: the hardware emulator is the primary, the
+    /// Pauli noise-model simulator over the same window is the graceful
+    /// fallback, and `faults` (if given) injects the configured failure
+    /// modes into the primary. `seed` drives backend sampling; each block
+    /// gets a decorrelated stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small or a
+    /// backend cannot be constructed over the routed window.
+    pub fn deploy_resilient<'a>(
+        &'a self,
+        device: &DeviceModel,
+        opt_level: u8,
+        policy: RetryPolicy,
+        faults: Option<FaultSpec>,
+        seed: u64,
+    ) -> Result<ResilientQnn<'a>, InvalidDeviceError> {
+        let backend_err = |e: BackendError| InvalidDeviceError {
+            reason: e.to_string(),
+        };
+        let mut blocks = Vec::with_capacity(self.blocks().len());
+        for (bi, block) in self.blocks().iter().enumerate() {
+            let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+            let block_seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(bi as u64));
+            let emulator = EmulatorBackend::new(&view, block_seed).map_err(backend_err)?;
+            let primary: Box<dyn QuantumBackend> = match faults {
+                Some(spec) => Box::new(FaultyBackend::new(
+                    emulator,
+                    FaultSpec {
+                        seed: spec.seed.wrapping_add(bi as u64),
+                        ..spec
+                    },
+                )),
+                None => Box::new(emulator),
+            };
+            let fallback =
+                NoiseModelBackend::new(&view, block_seed ^ 0x5eed).map_err(backend_err)?;
+            blocks.push(ResilientBlock {
+                lowered: lower_symbolic(&windowed),
+                obs,
+                executor: RefCell::new(ResilientExecutor::with_fallback(
+                    primary,
+                    Box::new(fallback),
+                    policy.clone(),
+                )),
+            });
+        }
+        Ok(ResilientQnn {
+            qnn: self,
+            blocks,
+            shots: None,
+        })
+    }
+}
+
+/// Shared routing front half of both deployment paths: layout, routing,
+/// window extraction.
+fn route_block(
+    qnn: &Qnn,
+    block: &crate::model::Block,
+    device: &DeviceModel,
+    opt_level: u8,
+) -> Result<(qnat_sim::Circuit, Vec<usize>, DeviceModel), InvalidDeviceError> {
+    if qnn.config().n_qubits > device.n_qubits() {
+        return Err(InvalidDeviceError {
+            reason: format!(
+                "model needs {} qubits, device {} has {}",
+                qnn.config().n_qubits,
+                device.name(),
+                device.n_qubits()
+            ),
+        });
+    }
+    let layout = if opt_level >= 3 {
+        noise_adaptive_layout(&block.logical, device)
+    } else {
+        Layout::trivial(qnn.config().n_qubits)
+    };
+    let (windowed, _window, obs, view) = route_and_window(&block.logical, device, &layout)?;
+    Ok((windowed, obs, view))
 }
 
 /// Which physical process produces the measurement outcomes.
@@ -220,20 +420,25 @@ pub enum InferenceBackend<'a> {
     },
     /// The density-matrix hardware emulator ("real QC" stand-in).
     Hardware(&'a DeployedQnn<'a>),
+    /// The hardware emulator behind retry/backoff executors with graceful
+    /// degradation to the noise-model simulator.
+    Resilient(&'a ResilientQnn<'a>),
 }
 
 /// Runs the full inference pipeline over a batch.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `FixedStats` provides the wrong number of block statistics.
+/// Returns [`InferError`] when a backend job fails past every retry and
+/// fallback, when normalization statistics cannot be computed, or when
+/// `FixedStats` supplies the wrong number of per-block statistics.
 pub fn infer<R: Rng>(
     qnn: &Qnn,
     features: &[Vec<f64>],
     backend: &InferenceBackend<'_>,
     opts: &InferenceOptions,
     rng: &mut R,
-) -> InferenceResult {
+) -> Result<InferenceResult, InferError> {
     let n_blocks = qnn.config().n_blocks;
     if let NormMode::FixedStats(stats) = &opts.normalize {
         let needed = if opts.process_last {
@@ -241,7 +446,12 @@ pub fn infer<R: Rng>(
         } else {
             n_blocks.saturating_sub(1)
         };
-        assert_eq!(stats.len(), needed, "need one NormStats per processed block");
+        if stats.len() != needed {
+            return Err(InferError::StatsMismatch {
+                expected: needed,
+                got: stats.len(),
+            });
+        }
     }
     let mut activations: Vec<Vec<f64>> = features.to_vec();
     let mut block_outputs = Vec::with_capacity(n_blocks);
@@ -249,35 +459,37 @@ pub fn infer<R: Rng>(
         // Raw outcomes for the whole batch.
         let raw: Vec<Vec<f64>> = activations
             .iter()
-            .map(|row| match backend {
-                InferenceBackend::NoiseFree => {
-                    qnn.eval_block(bi, row, &NoiseSource::None, None, false, rng)
-                        .outputs
-                }
-                InferenceBackend::PauliModel {
-                    model,
-                    factor,
-                    n_avg,
-                } => {
-                    let n_avg = (*n_avg).max(1);
-                    let mut acc = vec![0.0; qnn.config().n_qubits];
-                    for _ in 0..n_avg {
-                        let noise = NoiseSource::GateInsertion {
-                            model,
-                            factor: *factor,
-                        };
-                        let out = qnn
-                            .eval_block(bi, row, &noise, Some(model), false, rng)
-                            .outputs;
-                        for (a, o) in acc.iter_mut().zip(&out) {
-                            *a += o;
+            .map(|row| -> Result<Vec<f64>, InferError> {
+                match backend {
+                    InferenceBackend::NoiseFree => Ok(qnn
+                        .eval_block(bi, row, &NoiseSource::None, None, false, rng)
+                        .outputs),
+                    InferenceBackend::PauliModel {
+                        model,
+                        factor,
+                        n_avg,
+                    } => {
+                        let n_avg = (*n_avg).max(1);
+                        let mut acc = vec![0.0; qnn.config().n_qubits];
+                        for _ in 0..n_avg {
+                            let noise = NoiseSource::GateInsertion {
+                                model,
+                                factor: *factor,
+                            };
+                            let out = qnn
+                                .eval_block(bi, row, &noise, Some(model), false, rng)
+                                .outputs;
+                            for (a, o) in acc.iter_mut().zip(&out) {
+                                *a += o;
+                            }
                         }
+                        Ok(acc.into_iter().map(|a| a / n_avg as f64).collect())
                     }
-                    acc.into_iter().map(|a| a / n_avg as f64).collect()
+                    InferenceBackend::Hardware(dep) => Ok(dep.eval_block(bi, row, rng)?),
+                    InferenceBackend::Resilient(dep) => Ok(dep.eval_block(bi, row)?),
                 }
-                InferenceBackend::Hardware(dep) => dep.eval_block(bi, row, rng),
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         block_outputs.push(raw.clone());
         let mut processed = raw;
         if bi + 1 == n_blocks && !opts.process_last {
@@ -287,7 +499,7 @@ pub fn infer<R: Rng>(
         match &opts.normalize {
             NormMode::Off => {}
             NormMode::BatchStats => {
-                normalize_batch(&mut processed);
+                try_normalize_batch(&mut processed)?;
             }
             NormMode::FixedStats(stats) => stats[bi].apply(&mut processed),
         }
@@ -301,21 +513,30 @@ pub fn infer<R: Rng>(
         activations = processed;
     }
     let logits = apply_head(&activations, qnn.config().n_classes);
-    InferenceResult {
+    let report = match backend {
+        InferenceBackend::Resilient(dep) => Some(dep.report()),
+        _ => None,
+    };
+    Ok(InferenceResult {
         logits,
         block_outputs,
-    }
+        report,
+    })
 }
 
 /// Profiles per-block normalization statistics on a (validation) set run
 /// through a backend — used for the `FixedStats` mode of Appendix A.3.7.
+///
+/// # Errors
+///
+/// Returns [`InferError`] where [`infer`] does.
 pub fn profile_stats<R: Rng>(
     qnn: &Qnn,
     features: &[Vec<f64>],
     backend: &InferenceBackend<'_>,
     quantize: Option<QuantizeSpec>,
     rng: &mut R,
-) -> Vec<NormStats> {
+) -> Result<Vec<NormStats>, InferError> {
     // Run with batch stats and harvest the statistics of each block's raw
     // outputs.
     let opts = InferenceOptions {
@@ -323,12 +544,12 @@ pub fn profile_stats<R: Rng>(
         quantize,
         process_last: false,
     };
-    let result = infer(qnn, features, backend, &opts, rng);
+    let result = infer(qnn, features, backend, &opts, rng)?;
     result
         .block_outputs
         .iter()
         .take(qnn.config().n_blocks.saturating_sub(1))
-        .map(|raw| NormStats::from_batch(raw))
+        .map(|raw| NormStats::try_from_batch(raw).map_err(InferError::from))
         .collect()
 }
 
@@ -336,6 +557,7 @@ pub fn profile_stats<R: Rng>(
 mod tests {
     use super::*;
     use crate::model::QnnConfig;
+    use crate::normalize::normalize_batch;
     use qnat_noise::presets;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -360,10 +582,12 @@ mod tests {
             &InferenceBackend::NoiseFree,
             &InferenceOptions::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(r.logits.len(), 6);
         assert_eq!(r.logits[0].len(), 4);
         assert_eq!(r.block_outputs.len(), 2);
+        assert!(r.report.is_none(), "non-resilient backends carry no report");
     }
 
     #[test]
@@ -379,14 +603,16 @@ mod tests {
             &InferenceBackend::NoiseFree,
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let noisy = infer(
             &qnn,
             &batch,
             &InferenceBackend::Hardware(&dep),
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let m = crate::metrics::mse(&clean.block_outputs[0], &noisy.block_outputs[0]);
         assert!(m > 1e-6, "hardware emulation should perturb outcomes");
     }
@@ -406,14 +632,16 @@ mod tests {
             &InferenceBackend::NoiseFree,
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let noisy = infer(
             &qnn,
             &batch,
             &InferenceBackend::Hardware(&dep),
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let mut c0 = clean.block_outputs[0].clone();
         let mut n0 = noisy.block_outputs[0].clone();
         let snr_raw = crate::metrics::snr(&c0, &n0);
@@ -438,7 +666,8 @@ mod tests {
             &InferenceBackend::NoiseFree,
             Some(QuantizeSpec::levels(5)),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.len(), 1);
         let test = toy_batch();
         let with_fixed = infer(
@@ -451,18 +680,44 @@ mod tests {
                 process_last: false,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         let with_batch = infer(
             &qnn,
             &test,
             &InferenceBackend::NoiseFree,
             &InferenceOptions::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         // Same data → identical stats → identical logits.
-        for (a, b) in with_fixed.logits.iter().flatten().zip(with_batch.logits.iter().flatten()) {
+        for (a, b) in with_fixed
+            .logits
+            .iter()
+            .flatten()
+            .zip(with_batch.logits.iter().flatten())
+        {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn wrong_fixed_stats_count_is_typed_error() {
+        let qnn = Qnn::new(QnnConfig::standard(16, 4, 2, 2), 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = infer(
+            &qnn,
+            &toy_batch(),
+            &InferenceBackend::NoiseFree,
+            &InferenceOptions {
+                normalize: NormMode::FixedStats(vec![]),
+                quantize: None,
+                process_last: false,
+            },
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, InferError::StatsMismatch { expected: 1, got: 0 });
     }
 
     #[test]
@@ -478,7 +733,8 @@ mod tests {
             &InferenceBackend::Hardware(&dep),
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         dep.shots = Some(256);
         let sampled = infer(
             &qnn,
@@ -486,7 +742,8 @@ mod tests {
             &InferenceBackend::Hardware(&dep),
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let m = crate::metrics::mse(&exact.block_outputs[0], &sampled.block_outputs[0]);
         assert!(m > 0.0);
         assert!(m < 0.05, "256 shots should still be close: {m}");
@@ -505,7 +762,8 @@ mod tests {
             &InferenceBackend::NoiseFree,
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         let pauli = infer(
             &qnn,
             &batch,
@@ -516,11 +774,61 @@ mod tests {
             },
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         // Mean |z| shrinks under the Pauli model.
         let mean_abs = |m: &Vec<Vec<f64>>| -> f64 {
             m.iter().flatten().map(|v| v.abs()).sum::<f64>() / (m.len() * m[0].len()) as f64
         };
         assert!(mean_abs(&pauli.block_outputs[0]) < mean_abs(&clean.block_outputs[0]) + 1e-9);
+    }
+
+    #[test]
+    fn resilient_fault_free_matches_hardware_backend() {
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::for_device(cfg, &presets::santiago(), 7).unwrap();
+        let dep = qnn.deploy(&presets::santiago(), 2).unwrap();
+        let res = qnn
+            .deploy_resilient(
+                &presets::santiago(),
+                2,
+                RetryPolicy::default(),
+                None,
+                0,
+            )
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = toy_batch();
+        let hw = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        )
+        .unwrap();
+        let rs = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Resilient(&res),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        )
+        .unwrap();
+        // Exact (infinite-shot) expectations are deterministic, so the two
+        // deployment paths agree bit-for-bit.
+        for (a, b) in hw
+            .block_outputs
+            .iter()
+            .flatten()
+            .flatten()
+            .zip(rs.block_outputs.iter().flatten().flatten())
+        {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let report = rs.report.expect("resilient run carries a report");
+        assert_eq!(report.jobs, report.attempts);
+        assert_eq!(report.retries, 0);
+        assert!(!report.degraded);
     }
 }

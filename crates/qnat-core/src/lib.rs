@@ -17,7 +17,9 @@
 //! [`model::Qnn`] implements the multi-block architecture of Fig. 2;
 //! [`mod@train`] the Adam/warmup-cosine training loop; [`mod@infer`] the
 //! noise-free, Pauli-model and hardware-emulator inference pipelines;
-//! [`mitigate`] zero-noise extrapolation (Table 4).
+//! [`executor`] resilient execution (retry/backoff and graceful
+//! degradation to the noise-model simulator); [`mitigate`] zero-noise
+//! extrapolation (Table 4).
 //!
 //! ## Example
 //!
@@ -30,14 +32,16 @@
 //! let batch = vec![vec![0.4; 16], vec![0.6; 16]];
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let out = infer(&qnn, &batch, &InferenceBackend::NoiseFree,
-//!                 &InferenceOptions::default(), &mut rng);
+//!                 &InferenceOptions::default(), &mut rng).unwrap();
 //! assert_eq!(out.logits.len(), 2);
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ansatz;
 pub mod encoder;
+pub mod executor;
 pub mod forward;
 pub mod head;
 pub mod infer;
@@ -49,7 +53,8 @@ pub mod sweep;
 pub mod train;
 
 pub use ansatz::DesignSpace;
+pub use executor::{ExecutionReport, ResilientExecutor, RetryPolicy};
 pub use forward::{PipelineOptions, QuantizeSpec};
-pub use infer::{infer, InferenceBackend, InferenceOptions, NormMode};
+pub use infer::{infer, InferError, InferenceBackend, InferenceOptions, NormMode};
 pub use model::{NoiseSource, Qnn, QnnConfig};
 pub use train::{train, AdamConfig, TrainOptions};

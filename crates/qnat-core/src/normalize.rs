@@ -9,9 +9,55 @@
 //! Unlike Batch Normalization, the test batch uses *its own* statistics (or
 //! statistics profiled on the validation set when the test batch is small —
 //! Appendix A.3.7), and there are no trainable affine parameters.
+//!
+//! Statistics computation is fallible ([`NormStats::try_from_batch`]): an
+//! empty/ragged batch or non-finite outcome (a backend fault leaking NaN)
+//! is a typed [`NormError`] rather than a NaN scale factor silently
+//! poisoning every later layer. Zero-variance qubits are safe by
+//! construction — the [`NORM_EPS`] floor keeps the divisor positive.
+
+use std::error::Error;
+use std::fmt;
 
 /// Numerical floor added to variances.
 pub const NORM_EPS: f64 = 1e-8;
+
+/// Why normalization statistics could not be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormError {
+    /// The batch holds no samples.
+    EmptyBatch,
+    /// A row's width disagrees with the first row's.
+    RaggedBatch {
+        /// Width of the first row.
+        expected: usize,
+        /// Width of the offending row.
+        got: usize,
+    },
+    /// A measurement outcome is NaN or infinite.
+    NonFinite {
+        /// Sample index of the offending value.
+        sample: usize,
+        /// Qubit index of the offending value.
+        qubit: usize,
+    },
+}
+
+impl fmt::Display for NormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormError::EmptyBatch => write!(f, "empty batch"),
+            NormError::RaggedBatch { expected, got } => {
+                write!(f, "ragged batch: row of width {got}, expected {expected}")
+            }
+            NormError::NonFinite { sample, qubit } => {
+                write!(f, "non-finite outcome at sample {sample}, qubit {qubit}")
+            }
+        }
+    }
+}
+
+impl Error for NormError {}
 
 /// Per-qubit mean and standard deviation of a batch of measurement
 /// outcomes.
@@ -26,17 +72,31 @@ pub struct NormStats {
 impl NormStats {
     /// Computes the statistics of a batch (`outputs[i][q]`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the batch is empty or ragged.
-    pub fn from_batch(outputs: &[Vec<f64>]) -> NormStats {
-        assert!(!outputs.is_empty(), "empty batch");
-        let q = outputs[0].len();
+    /// Returns [`NormError`] for an empty batch, a ragged batch, or any
+    /// non-finite outcome.
+    pub fn try_from_batch(outputs: &[Vec<f64>]) -> Result<NormStats, NormError> {
+        let q = match outputs.first() {
+            Some(row) => row.len(),
+            None => return Err(NormError::EmptyBatch),
+        };
         let n = outputs.len() as f64;
         let mut mean = vec![0.0; q];
-        for row in outputs {
-            assert_eq!(row.len(), q, "ragged batch");
-            for (m, &v) in mean.iter_mut().zip(row) {
+        for (i, row) in outputs.iter().enumerate() {
+            if row.len() != q {
+                return Err(NormError::RaggedBatch {
+                    expected: q,
+                    got: row.len(),
+                });
+            }
+            for (j, (m, &v)) in mean.iter_mut().zip(row).enumerate() {
+                if !v.is_finite() {
+                    return Err(NormError::NonFinite {
+                        sample: i,
+                        qubit: j,
+                    });
+                }
                 *m += v;
             }
         }
@@ -50,7 +110,20 @@ impl NormStats {
             }
         }
         let std = var.into_iter().map(|v| (v / n + NORM_EPS).sqrt()).collect();
-        NormStats { mean, std }
+        Ok(NormStats { mean, std })
+    }
+
+    /// Computes the statistics of a batch (`outputs[i][q]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`NormStats::try_from_batch`] errors. Prefer the
+    /// fallible form on any deployment path.
+    pub fn from_batch(outputs: &[Vec<f64>]) -> NormStats {
+        match NormStats::try_from_batch(outputs) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Normalizes a batch in place with these statistics.
@@ -65,10 +138,28 @@ impl NormStats {
 
 /// Normalizes a batch with its own statistics (the default inference mode);
 /// returns the statistics used.
-pub fn normalize_batch(outputs: &mut [Vec<f64>]) -> NormStats {
-    let stats = NormStats::from_batch(outputs);
+///
+/// # Errors
+///
+/// Returns [`NormError`] where [`NormStats::try_from_batch`] does; the
+/// batch is left untouched on error.
+pub fn try_normalize_batch(outputs: &mut [Vec<f64>]) -> Result<NormStats, NormError> {
+    let stats = NormStats::try_from_batch(outputs)?;
     stats.apply(outputs);
-    stats
+    Ok(stats)
+}
+
+/// Panicking form of [`try_normalize_batch`] for trusted (already
+/// validated) batches.
+///
+/// # Panics
+///
+/// Panics where [`NormStats::try_from_batch`] errors.
+pub fn normalize_batch(outputs: &mut [Vec<f64>]) -> NormStats {
+    match try_normalize_batch(outputs) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -131,9 +222,49 @@ mod tests {
 
     #[test]
     fn constant_qubit_does_not_blow_up() {
+        // Zero variance must not yield a NaN scale factor (NORM_EPS floor).
         let mut batch = vec![vec![0.5], vec![0.5], vec![0.5]];
-        normalize_batch(&mut batch);
-        assert!(batch.iter().all(|r| r[0].abs() < 1e-3));
+        let stats = normalize_batch(&mut batch);
+        assert!(stats.std[0].is_finite() && stats.std[0] > 0.0);
+        assert!(batch.iter().all(|r| r[0].is_finite() && r[0].abs() < 1e-3));
+    }
+
+    #[test]
+    fn empty_batch_is_typed_error() {
+        assert_eq!(
+            NormStats::try_from_batch(&[]).unwrap_err(),
+            NormError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn ragged_batch_is_typed_error() {
+        let batch = vec![vec![0.1, 0.2], vec![0.3]];
+        assert_eq!(
+            NormStats::try_from_batch(&batch).unwrap_err(),
+            NormError::RaggedBatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_outcome_is_typed_error() {
+        let mut batch = vec![vec![0.1, 0.2], vec![0.3, f64::NAN]];
+        assert_eq!(
+            NormStats::try_from_batch(&batch).unwrap_err(),
+            NormError::NonFinite {
+                sample: 1,
+                qubit: 1
+            }
+        );
+        // And the in-place form leaves the batch untouched on error
+        // (NaN compares unequal, so check the finite entries).
+        let before = batch[0].clone();
+        assert!(try_normalize_batch(&mut batch).is_err());
+        assert_eq!(batch[0], before);
+        assert!(batch[1][1].is_nan());
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct SweepOutcome {
 /// Runs the §4.2 grid: trains one full-pipeline model per `(T, levels)`
 /// candidate against `device` and selects by validation loss.
 ///
+/// # Errors
+///
+/// Returns [`crate::infer::InferError`] if a candidate's validation pass
+/// fails.
+///
 /// # Panics
 ///
 /// Panics if the grid is empty or the architecture does not fit the
@@ -86,7 +91,7 @@ pub fn select_hyperparameters(
     dataset: &Dataset,
     device: &DeviceModel,
     sweep: &SweepConfig,
-) -> SweepOutcome {
+) -> Result<SweepOutcome, crate::infer::InferError> {
     assert!(
         !sweep.t_factors.is_empty() && !sweep.levels.is_empty(),
         "empty sweep grid"
@@ -121,7 +126,7 @@ pub fn select_hyperparameters(
                     pipeline,
                     seed: sweep.seed,
                 },
-            );
+            )?;
             records.push(SweepRecord {
                 point,
                 valid_loss: report.valid_loss,
@@ -137,11 +142,11 @@ pub fn select_hyperparameters(
         }
     }
     let (_, best_point, best_model) = best.expect("non-empty grid");
-    SweepOutcome {
+    Ok(SweepOutcome {
         best_model,
         best: best_point,
         records,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +170,8 @@ mod tests {
             &dataset,
             &device,
             &sweep,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.records.len(), 4);
         let min_loss = outcome
             .records
@@ -189,7 +195,7 @@ mod tests {
             t_factors: vec![],
             ..SweepConfig::default()
         };
-        select_hyperparameters(
+        let _ = select_hyperparameters(
             QnnConfig::standard(16, 2, 1, 1),
             &dataset,
             &presets::santiago(),

@@ -88,7 +88,7 @@ proptest! {
     #[test]
     fn head_preserves_total_signal(z in prop::collection::vec(-1.0f64..1.0, 4)) {
         // The fixed 4→2 head sums disjoint qubit groups.
-        let logits = apply_head(&[z.clone()], 2);
+        let logits = apply_head(std::slice::from_ref(&z), 2);
         let total: f64 = logits[0].iter().sum();
         prop_assert!((total - z.iter().sum::<f64>()).abs() < 1e-12);
     }

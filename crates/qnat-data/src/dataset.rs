@@ -246,8 +246,8 @@ fn build_vowel(config: &TaskConfig) -> Dataset {
     );
     // Rescale each PCA dimension to [0, 1] using train statistics.
     let projected: Vec<Vec<f64>> = samples.iter().map(|s| pca.transform(&s.features)).collect();
-    let mut lo = vec![f64::INFINITY; 10];
-    let mut hi = vec![f64::NEG_INFINITY; 10];
+    let mut lo = [f64::INFINITY; 10];
+    let mut hi = [f64::NEG_INFINITY; 10];
     for p in projected.iter().take(n_train) {
         for (d, &v) in p.iter().enumerate() {
             lo[d] = lo[d].min(v);

@@ -5,12 +5,13 @@
 //! for single-qubit gates, per-edge distributions for two-qubit gates,
 //! per-qubit readout confusion matrices, plus amplitude/phase damping rates
 //! that feed the density-matrix hardware emulator. Models serialize to JSON
-//! (mirroring how Qiskit ships noise models) via serde.
+//! (mirroring how Qiskit ships noise models) via the in-tree `qnat-json`
+//! crate.
 
 use crate::error_spec::{InvalidProbabilityError, PauliErrorSpec};
-use crate::readout::ReadoutError;
+use crate::readout::{InvalidReadoutError, ReadoutError};
+use qnat_json::Json;
 use qnat_sim::gate::{Gate, GateKind};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -37,8 +38,16 @@ impl From<InvalidProbabilityError> for InvalidDeviceError {
     }
 }
 
+impl From<InvalidReadoutError> for InvalidDeviceError {
+    fn from(e: InvalidReadoutError) -> Self {
+        InvalidDeviceError {
+            reason: e.to_string(),
+        }
+    }
+}
+
 /// Error specification for one coupling-map edge.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeError {
     /// First qubit of the (undirected) edge.
     pub a: usize,
@@ -60,7 +69,7 @@ pub struct EdgeError {
 /// assert_eq!(dev.n_qubits(), 5);
 /// assert!(dev.mean_single_qubit_error() < presets::yorktown().mean_single_qubit_error());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
     name: String,
     n_qubits: usize,
@@ -247,6 +256,37 @@ impl DeviceModel {
         }
     }
 
+    /// A copy of this model with gate/decoherence errors scaled by
+    /// `gate_t` and readout errors scaled by `readout_t` independently —
+    /// models calibration drift, where readout assignment error and gate
+    /// fidelity degrade at different rates between calibrations.
+    pub fn drifted(&self, gate_t: f64, readout_t: f64) -> DeviceModel {
+        DeviceModel {
+            name: self.name.clone(),
+            sq_errors: self.sq_errors.iter().map(|e| e.scaled(gate_t)).collect(),
+            tq_errors: self
+                .tq_errors
+                .iter()
+                .map(|e| EdgeError {
+                    spec: e.spec.scaled(gate_t),
+                    ..*e
+                })
+                .collect(),
+            readout: self.readout.iter().map(|r| r.scaled(readout_t)).collect(),
+            amp_damping: self
+                .amp_damping
+                .iter()
+                .map(|&d| (d * gate_t).min(1.0))
+                .collect(),
+            phase_damping: self
+                .phase_damping
+                .iter()
+                .map(|&d| (d * gate_t).min(1.0))
+                .collect(),
+            ..self.clone()
+        }
+    }
+
     /// A copy of this model with amplitude/phase damping removed — the
     /// *Pauli-twirled approximation* a calibration noise model captures.
     /// Evaluating on this vs the full model measures the model/reality gap
@@ -313,7 +353,50 @@ impl DeviceModel {
     /// Serializes the model to JSON (the same role as Qiskit's noise-model
     /// download).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("device models always serialize")
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("n_qubits", Json::Num(self.n_qubits as f64)),
+            ("quantum_volume", Json::Num(f64::from(self.quantum_volume))),
+            (
+                "coupling",
+                Json::Arr(
+                    self.coupling
+                        .iter()
+                        .map(|&(a, b)| Json::nums([a as f64, b as f64]))
+                        .collect(),
+                ),
+            ),
+            (
+                "sq_errors",
+                Json::Arr(self.sq_errors.iter().map(|e| e.to_json_value()).collect()),
+            ),
+            (
+                "tq_errors",
+                Json::Arr(
+                    self.tq_errors
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("a", Json::Num(e.a as f64)),
+                                ("b", Json::Num(e.b as f64)),
+                                ("spec", e.spec.to_json_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "readout",
+                Json::Arr(self.readout.iter().map(|r| r.to_json_value()).collect()),
+            ),
+            ("amp_damping", Json::nums(self.amp_damping.iter().copied())),
+            (
+                "phase_damping",
+                Json::nums(self.phase_damping.iter().copied()),
+            ),
+            ("tq_duration_factor", Json::Num(self.tq_duration_factor)),
+        ])
+        .to_json_pretty()
     }
 
     /// Parses a model from JSON.
@@ -323,9 +406,82 @@ impl DeviceModel {
     /// Returns [`InvalidDeviceError`] if the JSON is malformed or the model
     /// fails validation.
     pub fn from_json(json: &str) -> Result<DeviceModel, InvalidDeviceError> {
-        let model: DeviceModel = serde_json::from_str(json).map_err(|e| InvalidDeviceError {
-            reason: format!("JSON parse error: {e}"),
-        })?;
+        let bad = |reason: String| InvalidDeviceError { reason };
+        let v = Json::parse(json).map_err(|e| bad(format!("JSON parse error: {e}")))?;
+        let usize_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad(format!("missing or invalid field '{k}'")))
+        };
+        let arr_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad(format!("missing or invalid array '{k}'")))
+        };
+        let f64_list = |k: &str| -> Result<Vec<f64>, InvalidDeviceError> {
+            arr_field(k)?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| bad(format!("non-numeric entry in '{k}'")))
+                })
+                .collect()
+        };
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing or invalid field 'name'".into()))?
+            .to_string();
+        let mut coupling = Vec::new();
+        for pair in arr_field("coupling")? {
+            match pair.as_array() {
+                Some([a, b]) => match (a.as_usize(), b.as_usize()) {
+                    (Some(a), Some(b)) => coupling.push((a, b)),
+                    _ => return Err(bad("non-integer coupling endpoint".into())),
+                },
+                _ => return Err(bad("coupling entry is not a pair".into())),
+            }
+        }
+        let sq_errors = arr_field("sq_errors")?
+            .iter()
+            .map(PauliErrorSpec::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut tq_errors = Vec::new();
+        for e in arr_field("tq_errors")? {
+            let endpoint = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| bad(format!("missing edge endpoint '{k}'")))
+            };
+            let spec = e
+                .get("spec")
+                .ok_or_else(|| bad("missing edge 'spec'".into()))?;
+            tq_errors.push(EdgeError {
+                a: endpoint("a")?,
+                b: endpoint("b")?,
+                spec: PauliErrorSpec::from_json_value(spec)?,
+            });
+        }
+        let readout = arr_field("readout")?
+            .iter()
+            .map(ReadoutError::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let model = DeviceModel {
+            name,
+            n_qubits: usize_field("n_qubits")?,
+            quantum_volume: u32::try_from(usize_field("quantum_volume")?)
+                .map_err(|_| bad("quantum_volume out of range".into()))?,
+            coupling,
+            sq_errors,
+            tq_errors,
+            readout,
+            amp_damping: f64_list("amp_damping")?,
+            phase_damping: f64_list("phase_damping")?,
+            tq_duration_factor: v
+                .get("tq_duration_factor")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing 'tq_duration_factor'".into()))?,
+        };
         model.validate()?;
         Ok(model)
     }

@@ -6,7 +6,12 @@
 //! capture — this is precisely the model/reality gap Table 11 measures).
 //! Measurement applies the per-qubit readout confusion and optionally
 //! finite-shot sampling.
+//!
+//! All entry points are fallible: an oversized circuit or an invalid
+//! channel spec surfaces as a typed [`BackendError`] instead of a panic, so
+//! the deployment pipeline can report and recover.
 
+use crate::backend::BackendError;
 use crate::device::DeviceModel;
 use qnat_sim::channel::Channel1;
 use qnat_sim::circuit::Circuit;
@@ -31,29 +36,35 @@ impl HardwareEmulator {
         &self.model
     }
 
+    fn check_size(&self, circuit: &Circuit) -> Result<(), BackendError> {
+        if circuit.n_qubits() > self.model.n_qubits() {
+            return Err(BackendError::QubitCount {
+                needed: circuit.n_qubits(),
+                available: self.model.n_qubits(),
+                backend: self.model.name().to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs `circuit` with full noise (gate Pauli channels + damping) and
     /// returns the final mixed state. Readout error is *not* applied here —
     /// see [`HardwareEmulator::measure_probabilities`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the circuit uses more qubits than the device has.
-    pub fn run(&self, circuit: &Circuit) -> DensityMatrix {
-        assert!(
-            circuit.n_qubits() <= self.model.n_qubits(),
-            "circuit needs {} qubits, device {} has {}",
-            circuit.n_qubits(),
-            self.model.name(),
-            self.model.n_qubits()
-        );
+    /// Returns [`BackendError::QubitCount`] if the circuit uses more qubits
+    /// than the device has, or [`BackendError::InvalidChannel`] if the
+    /// device model yields an invalid noise channel.
+    pub fn run(&self, circuit: &Circuit) -> Result<DensityMatrix, BackendError> {
+        self.check_size(circuit)?;
         let mut rho = DensityMatrix::zero_state(circuit.n_qubits());
         for g in circuit.gates() {
             rho.apply_gate(g);
             // Pauli (twirled) gate error on each affected qubit.
             for (q, spec) in self.model.gate_errors(g) {
                 if spec.total() > 0.0 {
-                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)
-                        .expect("device model specs are validated");
+                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)?;
                     rho.apply_channel1(q, &ch);
                 }
             }
@@ -69,35 +80,40 @@ impl HardwareEmulator {
                 let ad = (self.model.amp_damping(q) * dur).min(1.0);
                 let pd = (self.model.phase_damping(q) * dur).min(1.0);
                 if ad > 0.0 {
-                    rho.apply_channel1(
-                        q,
-                        &Channel1::amplitude_damping(ad).expect("validated rate"),
-                    );
+                    rho.apply_channel1(q, &Channel1::amplitude_damping(ad)?);
                 }
                 if pd > 0.0 {
-                    rho.apply_channel1(q, &Channel1::phase_damping(pd).expect("validated rate"));
+                    rho.apply_channel1(q, &Channel1::phase_damping(pd)?);
                 }
             }
         }
-        rho
+        Ok(rho)
     }
 
     /// Final measurement distribution including readout confusion.
-    pub fn measure_probabilities(&self, circuit: &Circuit) -> Vec<f64> {
-        let rho = self.run(circuit);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HardwareEmulator::run`] errors.
+    pub fn measure_probabilities(&self, circuit: &Circuit) -> Result<Vec<f64>, BackendError> {
+        let rho = self.run(circuit)?;
         let mut probs = rho.probabilities();
         for q in 0..circuit.n_qubits() {
             self.model
                 .readout_error(q)
                 .apply_to_distribution(&mut probs, q);
         }
-        probs
+        Ok(probs)
     }
 
     /// Exact noisy Z expectations per qubit (infinite-shot limit), readout
     /// error included.
-    pub fn expect_all_z(&self, circuit: &Circuit) -> Vec<f64> {
-        let probs = self.measure_probabilities(circuit);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HardwareEmulator::run`] errors.
+    pub fn expect_all_z(&self, circuit: &Circuit) -> Result<Vec<f64>, BackendError> {
+        let probs = self.measure_probabilities(circuit)?;
         let n = circuit.n_qubits();
         let mut p1 = vec![0.0f64; n];
         for (i, &w) in probs.iter().enumerate() {
@@ -107,19 +123,27 @@ impl HardwareEmulator {
                 }
             }
         }
-        p1.into_iter().map(|p| 1.0 - 2.0 * p).collect()
+        Ok(p1.into_iter().map(|p| 1.0 - 2.0 * p).collect())
     }
 
     /// Shot-sampled noisy Z expectations per qubit (the paper uses
     /// `shots = 8192`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HardwareEmulator::run`] errors; returns
+    /// [`BackendError::ShotBudget`] for `shots == 0`.
     pub fn sampled_expect_all_z<R: Rng>(
         &self,
         circuit: &Circuit,
         shots: usize,
         rng: &mut R,
-    ) -> Vec<f64> {
-        let probs = self.measure_probabilities(circuit);
-        sampled_expect_all_z(&probs, circuit.n_qubits(), shots, rng)
+    ) -> Result<Vec<f64>, BackendError> {
+        if shots == 0 {
+            return Err(BackendError::ShotBudget { requested: 0 });
+        }
+        let probs = self.measure_probabilities(circuit)?;
+        Ok(sampled_expect_all_z(&probs, circuit.n_qubits(), shots, rng))
     }
 }
 
@@ -145,7 +169,7 @@ mod tests {
     fn noise_free_emulator_matches_statevector() {
         let c = test_circuit();
         let emu = HardwareEmulator::new(presets::noise_free(2));
-        let noisy = emu.expect_all_z(&c);
+        let noisy = emu.expect_all_z(&c).unwrap();
         let psi = simulate(&c);
         for q in 0..2 {
             assert!((noisy[q] - psi.expect_z(q)).abs() < 1e-10);
@@ -165,8 +189,12 @@ mod tests {
             c.push(Gate::sx(0)); // four SX = identity, but noisy
         }
         let ideal = simulate(&c).expect_z(0);
-        let z_sant = HardwareEmulator::new(presets::santiago()).expect_all_z(&c)[0];
-        let z_york = HardwareEmulator::new(presets::yorktown()).expect_all_z(&c)[0];
+        let z_sant = HardwareEmulator::new(presets::santiago())
+            .expect_all_z(&c)
+            .unwrap()[0];
+        let z_york = HardwareEmulator::new(presets::yorktown())
+            .expect_all_z(&c)
+            .unwrap()[0];
         assert!((ideal + 1.0).abs() < 1e-10);
         assert!(z_sant > ideal, "santiago contracts |Z|");
         assert!(z_york > z_sant, "yorktown noisier than santiago");
@@ -177,7 +205,7 @@ mod tests {
         let c = test_circuit();
         for model in [presets::yorktown(), presets::melbourne()] {
             let emu = HardwareEmulator::new(model);
-            let rho = emu.run(&c);
+            let rho = emu.run(&c).unwrap();
             assert!((rho.trace() - 1.0).abs() < 1e-9);
             assert!(rho.hermiticity_error() < 1e-9);
         }
@@ -187,7 +215,7 @@ mod tests {
     fn measurement_distribution_normalized() {
         let c = test_circuit();
         let emu = HardwareEmulator::new(presets::belem());
-        let probs = emu.measure_probabilities(&c);
+        let probs = emu.measure_probabilities(&c).unwrap();
         let total: f64 = probs.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(probs.iter().all(|&p| p >= -1e-12));
@@ -197,9 +225,9 @@ mod tests {
     fn sampled_expectations_converge_to_exact() {
         let c = test_circuit();
         let emu = HardwareEmulator::new(presets::santiago());
-        let exact = emu.expect_all_z(&c);
+        let exact = emu.expect_all_z(&c).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
-        let sampled = emu.sampled_expect_all_z(&c, 50_000, &mut rng);
+        let sampled = emu.sampled_expect_all_z(&c, 50_000, &mut rng).unwrap();
         for q in 0..2 {
             assert!(
                 (sampled[q] - exact[q]).abs() < 0.03,
@@ -211,9 +239,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "circuit needs")]
-    fn oversized_circuit_panics() {
+    fn oversized_circuit_is_typed_error() {
         let c = Circuit::new(6);
-        HardwareEmulator::new(presets::santiago()).run(&c);
+        let err = HardwareEmulator::new(presets::santiago())
+            .run(&c)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::QubitCount {
+                needed: 6,
+                available: 5,
+                ..
+            }
+        ));
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn zero_shots_is_typed_error() {
+        let c = test_circuit();
+        let emu = HardwareEmulator::new(presets::santiago());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            emu.sampled_expect_all_z(&c, 0, &mut rng).unwrap_err(),
+            BackendError::ShotBudget { requested: 0 }
+        );
     }
 }

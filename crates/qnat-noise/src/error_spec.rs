@@ -7,8 +7,8 @@
 //! probabilities during sampling to trade off injection strength against
 //! training stability (paper §3.2, typical `T ∈ [0.5, 1.5]`).
 
+use qnat_json::Json;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -51,7 +51,7 @@ pub enum PauliError {
 /// assert!((e.total() - 0.00288).abs() < 1e-12);
 /// # Ok::<(), qnat_noise::error_spec::InvalidProbabilityError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PauliErrorSpec {
     /// Probability of an X error.
     pub p_x: f64,
@@ -137,6 +137,33 @@ impl PauliErrorSpec {
         s
     }
 
+    /// Serializes to a JSON value `{"p_x": …, "p_y": …, "p_z": …}`.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("p_x", Json::Num(self.p_x)),
+            ("p_y", Json::Num(self.p_y)),
+            ("p_z", Json::Num(self.p_z)),
+        ])
+    }
+
+    /// Parses a spec from a JSON value produced by
+    /// [`PauliErrorSpec::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbabilityError`] on missing/non-numeric fields or
+    /// out-of-range probabilities.
+    pub fn from_json_value(v: &Json) -> Result<Self, InvalidProbabilityError> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| InvalidProbabilityError {
+                    reason: format!("missing or non-numeric field '{k}'"),
+                })
+        };
+        PauliErrorSpec::new(field("p_x")?, field("p_y")?, field("p_z")?)
+    }
+
     /// Samples one error event from the distribution
     /// `{X: pₓ, Y: p_y, Z: p_z, None: 1−Σ}`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> PauliError {
@@ -216,10 +243,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let e = PauliErrorSpec::new(0.00096, 0.00096, 0.00096).unwrap();
-        let js = serde_json::to_string(&e).unwrap();
-        let back: PauliErrorSpec = serde_json::from_str(&js).unwrap();
+        let text = e.to_json_value().to_json();
+        let back = PauliErrorSpec::from_json_value(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(e, back);
+        assert!(PauliErrorSpec::from_json_value(&Json::Null).is_err());
     }
 }

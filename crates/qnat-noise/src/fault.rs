@@ -1,0 +1,286 @@
+//! Fault injection for deployment-pipeline robustness testing.
+//!
+//! [`FaultyBackend`] decorates any [`QuantumBackend`] with the failure
+//! modes real cloud QPUs exhibit: transient job rejections, queue
+//! timeouts, shot-budget truncation, and calibration drift (readout and
+//! gate error rates creeping up with every job since the last
+//! calibration). Faults are *seed-deterministic per job index*: whether
+//! job `k` fails depends only on `(spec.seed, k)`, never on how many
+//! retries earlier jobs needed, so fault sweeps and regression tests are
+//! exactly reproducible.
+
+use crate::backend::{BackendError, Measurements, QuantumBackend};
+use qnat_sim::circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configurable fault rates and drift slopes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a job fails transiently (retry may succeed).
+    pub transient_failure_rate: f64,
+    /// Probability a job times out in the queue (retry may succeed).
+    pub timeout_rate: f64,
+    /// Probability a finite-shot job comes back with a truncated budget.
+    pub shot_truncation_rate: f64,
+    /// Fraction of the requested shots delivered when truncated.
+    pub shot_truncation_factor: f64,
+    /// Readout error scale grows by this per job index (calibration
+    /// drift): job `k` runs at scale `1 + k·rate`.
+    pub readout_drift_per_job: f64,
+    /// Gate error scale grows by this per job index.
+    pub gate_drift_per_job: f64,
+    /// Seed of the per-job fault schedule.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A fault-free specification (the decorator becomes transparent).
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            transient_failure_rate: 0.0,
+            timeout_rate: 0.0,
+            shot_truncation_rate: 0.0,
+            shot_truncation_factor: 0.25,
+            readout_drift_per_job: 0.0,
+            gate_drift_per_job: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Only transient failures, at the given rate.
+    pub fn transient(rate: f64, seed: u64) -> FaultSpec {
+        FaultSpec {
+            transient_failure_rate: rate,
+            seed,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// `true` when any drift slope is non-zero.
+    pub fn has_drift(&self) -> bool {
+        self.readout_drift_per_job != 0.0 || self.gate_drift_per_job != 0.0
+    }
+}
+
+/// SplitMix64 — decorrelates consecutive job indices into independent
+/// per-job seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A backend decorator injecting seed-deterministic faults.
+#[derive(Debug, Clone)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    spec: FaultSpec,
+    job_index: u64,
+}
+
+impl<B: QuantumBackend> FaultyBackend<B> {
+    /// Wraps `inner` with the fault schedule of `spec`.
+    pub fn new(inner: B, spec: FaultSpec) -> Self {
+        FaultyBackend {
+            inner,
+            spec,
+            job_index: 0,
+        }
+    }
+
+    /// Number of jobs submitted so far (attempts count: every `execute`
+    /// call is one job).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.job_index
+    }
+
+    /// The fault specification.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Read access to the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The RNG deciding job `k`'s faults — a pure function of
+    /// `(spec.seed, k)`.
+    fn fault_rng(&self, job: u64) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.spec.seed ^ splitmix64(job)))
+    }
+}
+
+impl<B: QuantumBackend> QuantumBackend for FaultyBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.inner.n_qubits()
+    }
+
+    fn validate(&self, circuit: &Circuit) -> Result<(), BackendError> {
+        self.inner.validate(circuit)
+    }
+
+    fn execute(
+        &mut self,
+        circuit: &Circuit,
+        shots: Option<usize>,
+    ) -> Result<Measurements, BackendError> {
+        let job = self.job_index;
+        self.job_index += 1;
+        let mut rng = self.fault_rng(job);
+        if self.spec.has_drift() {
+            let k = job as f64;
+            self.inner.apply_drift(
+                1.0 + k * self.spec.gate_drift_per_job,
+                1.0 + k * self.spec.readout_drift_per_job,
+            );
+        }
+        // Fault rolls happen in a fixed order so the schedule is stable
+        // under spec-rate changes of later faults.
+        if rng.gen_bool(self.spec.transient_failure_rate.clamp(0.0, 1.0)) {
+            return Err(BackendError::TransientFailure {
+                job,
+                reason: "injected transient fault".into(),
+            });
+        }
+        if rng.gen_bool(self.spec.timeout_rate.clamp(0.0, 1.0)) {
+            return Err(BackendError::QueueTimeout {
+                job,
+                waited_ms: rng.gen_range(10_000..120_000),
+            });
+        }
+        let effective_shots = match shots {
+            Some(s) if rng.gen_bool(self.spec.shot_truncation_rate.clamp(0.0, 1.0)) => {
+                Some(((s as f64 * self.spec.shot_truncation_factor) as usize).max(1))
+            }
+            other => other,
+        };
+        self.inner.execute(circuit, effective_shots)
+    }
+
+    fn apply_drift(&mut self, gate_scale: f64, readout_scale: f64) {
+        self.inner.apply_drift(gate_scale, readout_scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatorBackend;
+    use qnat_sim::gate::Gate;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c
+    }
+
+    fn run_schedule(spec: FaultSpec, jobs: usize) -> Vec<bool> {
+        let mut b = FaultyBackend::new(SimulatorBackend::new(1), spec);
+        (0..jobs).map(|_| b.execute(&bell(), None).is_ok()).collect()
+    }
+
+    #[test]
+    fn fault_free_spec_is_transparent() {
+        let mut plain = SimulatorBackend::new(1);
+        let mut wrapped = FaultyBackend::new(SimulatorBackend::new(1), FaultSpec::none());
+        let a = plain.execute(&bell(), Some(512)).unwrap();
+        let b = wrapped.execute(&bell(), Some(512)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let spec = FaultSpec::transient(0.4, 9);
+        assert_eq!(run_schedule(spec, 50), run_schedule(spec, 50));
+        let other = FaultSpec::transient(0.4, 10);
+        assert_ne!(run_schedule(spec, 50), run_schedule(other, 50));
+    }
+
+    #[test]
+    fn failure_frequency_tracks_rate() {
+        let ok = run_schedule(FaultSpec::transient(0.3, 5), 1000);
+        let failures = ok.iter().filter(|&&x| !x).count();
+        assert!((200..400).contains(&failures), "{failures} failures");
+    }
+
+    #[test]
+    fn injected_faults_are_retryable() {
+        let mut b = FaultyBackend::new(
+            SimulatorBackend::new(1),
+            FaultSpec {
+                timeout_rate: 1.0,
+                ..FaultSpec::none()
+            },
+        );
+        let err = b.execute(&bell(), None).unwrap_err();
+        assert!(matches!(err, BackendError::QueueTimeout { job: 0, .. }));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn shot_truncation_reduces_budget() {
+        let mut b = FaultyBackend::new(
+            SimulatorBackend::new(1),
+            FaultSpec {
+                shot_truncation_rate: 1.0,
+                shot_truncation_factor: 0.25,
+                ..FaultSpec::none()
+            },
+        );
+        let m = b.execute(&bell(), Some(8192)).unwrap();
+        assert_eq!(m.shots_used, Some(2048));
+        // Exact jobs cannot be truncated.
+        let m = b.execute(&bell(), None).unwrap();
+        assert_eq!(m.shots_used, None);
+    }
+
+    #[test]
+    fn validation_errors_pass_through_inner() {
+        let mut b = FaultyBackend::new(SimulatorBackend::new(1), FaultSpec::none());
+        let mut c = Circuit::new(1);
+        c.push(Gate::ry(0, f64::INFINITY));
+        assert!(matches!(
+            b.execute(&c, None).unwrap_err(),
+            BackendError::NonFiniteParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn drift_degrades_emulator_over_jobs() {
+        use crate::backend::EmulatorBackend;
+        use crate::presets;
+        let model = presets::santiago().subdevice(&[0, 1]).unwrap();
+        let mut b = FaultyBackend::new(
+            EmulatorBackend::new(&model, 0).unwrap(),
+            FaultSpec {
+                gate_drift_per_job: 0.5,
+                readout_drift_per_job: 0.5,
+                seed: 2,
+                ..FaultSpec::none()
+            },
+        );
+        let mut c = Circuit::new(2);
+        c.push(Gate::x(0));
+        for _ in 0..10 {
+            c.push(Gate::sx(0));
+            c.push(Gate::sx(0));
+        }
+        let early = b.execute(&c, None).unwrap().expectations[0];
+        for _ in 0..8 {
+            let _ = b.execute(&c, None);
+        }
+        let late = b.execute(&c, None).unwrap().expectations[0];
+        assert!(
+            late.abs() < early.abs(),
+            "drift contracts |Z| over jobs: {late} vs {early}"
+        );
+    }
+}

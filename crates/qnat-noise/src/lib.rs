@@ -20,22 +20,30 @@
 //! c.push(Gate::h(0));
 //! c.push(Gate::cx(0, 1));
 //! let emu = HardwareEmulator::new(presets::santiago());
-//! let z = emu.expect_all_z(&c);
+//! let z = emu.expect_all_z(&c).unwrap();
 //! assert!(z[0].abs() < 0.1); // Bell state measures near zero
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod backend;
 pub mod device;
 pub mod emulator;
 pub mod error_spec;
+pub mod fault;
 pub mod inject;
 pub mod presets;
 pub mod readout;
 pub mod trajectory;
 
+pub use backend::{
+    BackendError, EmulatorBackend, Measurements, NoiseModelBackend, QuantumBackend,
+    SimulatorBackend,
+};
 pub use device::DeviceModel;
 pub use emulator::HardwareEmulator;
 pub use error_spec::PauliErrorSpec;
+pub use fault::{FaultSpec, FaultyBackend};
 pub use readout::ReadoutError;
 pub use trajectory::TrajectoryEmulator;

@@ -4,8 +4,8 @@
 //! IBMQ-Santiago qubit 0: `[[0.984, 0.016], [0.022, 0.978]]` — a `|0⟩` is
 //! read as 0 with probability 0.984 (paper §3.2, "Readout noise injection").
 
+use qnat_json::Json;
 use qnat_sim::measure::{apply_confusion, confuse_expectation, Confusion};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -25,7 +25,7 @@ impl fmt::Display for InvalidReadoutError {
 impl Error for InvalidReadoutError {}
 
 /// A validated per-qubit readout confusion matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadoutError {
     matrix: Confusion,
 }
@@ -107,6 +107,55 @@ impl ReadoutError {
         }
     }
 
+    /// Serializes to a JSON value `{"matrix": [[…,…],[…,…]]}`.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([(
+            "matrix",
+            Json::Arr(vec![
+                Json::nums(self.matrix[0]),
+                Json::nums(self.matrix[1]),
+            ]),
+        )])
+    }
+
+    /// Parses a readout error from a JSON value produced by
+    /// [`ReadoutError::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidReadoutError`] on malformed JSON shape or a
+    /// non-row-stochastic matrix.
+    pub fn from_json_value(v: &Json) -> Result<Self, InvalidReadoutError> {
+        let rows = v
+            .get("matrix")
+            .and_then(Json::as_array)
+            .ok_or_else(|| InvalidReadoutError {
+                reason: "missing 'matrix' array".into(),
+            })?;
+        let mut matrix: Confusion = [[0.0; 2]; 2];
+        if rows.len() != 2 {
+            return Err(InvalidReadoutError {
+                reason: format!("expected 2 rows, got {}", rows.len()),
+            });
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let cells = row.as_array().ok_or_else(|| InvalidReadoutError {
+                reason: format!("row {t} is not an array"),
+            })?;
+            if cells.len() != 2 {
+                return Err(InvalidReadoutError {
+                    reason: format!("row {t} has {} entries, expected 2", cells.len()),
+                });
+            }
+            for (o, cell) in cells.iter().enumerate() {
+                matrix[t][o] = cell.as_f64().ok_or_else(|| InvalidReadoutError {
+                    reason: format!("entry ({t},{o}) is not a number"),
+                })?;
+            }
+        }
+        ReadoutError::new(matrix)
+    }
+
     /// Applies this qubit's confusion to a joint distribution (in place).
     pub fn apply_to_distribution(&self, probs: &mut [f64], q: usize) {
         apply_confusion(probs, q, &self.matrix);
@@ -159,10 +208,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = ReadoutError::asymmetric(0.016, 0.022).unwrap();
-        let js = serde_json::to_string(&r).unwrap();
-        let back: ReadoutError = serde_json::from_str(&js).unwrap();
+        let text = r.to_json_value().to_json();
+        let back = ReadoutError::from_json_value(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(r, back);
+        // Shape and stochasticity failures are reported, not panicked.
+        assert!(ReadoutError::from_json_value(&Json::Null).is_err());
+        let bad = Json::parse(r#"{"matrix": [[0.9, 0.2], [0.0, 1.0]]}"#).unwrap();
+        assert!(ReadoutError::from_json_value(&bad).is_err());
     }
 }

@@ -7,8 +7,10 @@
 //! density-matrix result. The noise placement is identical to
 //! [`crate::emulator::HardwareEmulator`]: Pauli gate-error channels plus
 //! amplitude/phase damping after every physical gate, readout confusion at
-//! measurement.
+//! measurement. Like the density-matrix emulator, every entry point
+//! returns typed [`BackendError`]s instead of panicking.
 
+use crate::backend::BackendError;
 use crate::device::DeviceModel;
 use qnat_sim::channel::Channel1;
 use qnat_sim::circuit::Circuit;
@@ -26,15 +28,19 @@ pub struct TrajectoryEmulator {
 impl TrajectoryEmulator {
     /// Creates an emulator averaging `n_trajectories` runs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_trajectories == 0`.
-    pub fn new(model: DeviceModel, n_trajectories: usize) -> Self {
-        assert!(n_trajectories > 0, "need at least one trajectory");
-        TrajectoryEmulator {
+    /// Returns [`BackendError::InvalidConfig`] if `n_trajectories == 0`.
+    pub fn new(model: DeviceModel, n_trajectories: usize) -> Result<Self, BackendError> {
+        if n_trajectories == 0 {
+            return Err(BackendError::InvalidConfig {
+                reason: "need at least one trajectory".into(),
+            });
+        }
+        Ok(TrajectoryEmulator {
             model,
             n_trajectories,
-        }
+        })
     }
 
     /// The underlying device model.
@@ -42,15 +48,35 @@ impl TrajectoryEmulator {
         &self.model
     }
 
+    fn check_size(&self, circuit: &Circuit) -> Result<(), BackendError> {
+        if circuit.n_qubits() > self.model.n_qubits() {
+            return Err(BackendError::QubitCount {
+                needed: circuit.n_qubits(),
+                available: self.model.n_qubits(),
+                backend: self.model.name().to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs one noisy trajectory and returns the final pure state.
-    pub fn run_one<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::QubitCount`] or
+    /// [`BackendError::InvalidChannel`].
+    pub fn run_one<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<StateVector, BackendError> {
+        self.check_size(circuit)?;
         let mut psi = StateVector::zero_state(circuit.n_qubits());
         for g in circuit.gates() {
             psi.apply(g);
             for (q, spec) in self.model.gate_errors(g) {
                 if spec.total() > 0.0 {
-                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)
-                        .expect("validated spec");
+                    let ch = Channel1::pauli(spec.p_x, spec.p_y, spec.p_z)?;
                     psi.apply_channel1_sampled(q, &ch, rng);
                 }
             }
@@ -64,56 +90,64 @@ impl TrajectoryEmulator {
                 let ad = (self.model.amp_damping(q) * dur).min(1.0);
                 let pd = (self.model.phase_damping(q) * dur).min(1.0);
                 if ad > 0.0 {
-                    psi.apply_channel1_sampled(
-                        q,
-                        &Channel1::amplitude_damping(ad).expect("validated rate"),
-                        rng,
-                    );
+                    psi.apply_channel1_sampled(q, &Channel1::amplitude_damping(ad)?, rng);
                 }
                 if pd > 0.0 {
-                    psi.apply_channel1_sampled(
-                        q,
-                        &Channel1::phase_damping(pd).expect("validated rate"),
-                        rng,
-                    );
+                    psi.apply_channel1_sampled(q, &Channel1::phase_damping(pd)?, rng);
                 }
             }
         }
-        psi
+        Ok(psi)
     }
 
     /// Noisy Z expectations averaged over trajectories, readout error
     /// included.
-    pub fn expect_all_z<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrajectoryEmulator::run_one`] errors.
+    pub fn expect_all_z<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, BackendError> {
         let n = circuit.n_qubits();
         let mut acc = vec![0.0f64; n];
         for _ in 0..self.n_trajectories {
-            let psi = self.run_one(circuit, rng);
+            let psi = self.run_one(circuit, rng)?;
             for (q, a) in acc.iter_mut().enumerate() {
                 let z = psi.expect_z(q);
                 *a += self.model.readout_error(q).apply_to_expectation(z);
             }
         }
-        acc.into_iter()
+        Ok(acc
+            .into_iter()
             .map(|a| a / self.n_trajectories as f64)
-            .collect()
+            .collect())
     }
 
     /// Shot-sampled noisy Z expectations: shots are distributed over the
     /// trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrajectoryEmulator::run_one`] errors; returns
+    /// [`BackendError::ShotBudget`] for `shots == 0`.
     pub fn sampled_expect_all_z<R: Rng>(
         &self,
         circuit: &Circuit,
         shots: usize,
         rng: &mut R,
-    ) -> Vec<f64> {
-        assert!(shots > 0, "need at least one shot");
+    ) -> Result<Vec<f64>, BackendError> {
+        if shots == 0 {
+            return Err(BackendError::ShotBudget { requested: 0 });
+        }
         let n = circuit.n_qubits();
         let per_traj = (shots / self.n_trajectories).max(1);
         let mut acc = vec![0.0f64; n];
         let mut total = 0usize;
         for _ in 0..self.n_trajectories {
-            let psi = self.run_one(circuit, rng);
+            let psi = self.run_one(circuit, rng)?;
             let mut probs = psi.probabilities();
             for q in 0..n {
                 self.model
@@ -126,7 +160,7 @@ impl TrajectoryEmulator {
             }
             total += per_traj;
         }
-        acc.into_iter().map(|a| a / total as f64).collect()
+        Ok(acc.into_iter().map(|a| a / total as f64).collect())
     }
 }
 
@@ -152,10 +186,12 @@ mod tests {
     fn trajectories_converge_to_density_matrix() {
         let c = test_circuit();
         let model = presets::yorktown().scaled(10.0); // exaggerate noise
-        let exact = HardwareEmulator::new(model.clone()).expect_all_z(&c);
-        let traj = TrajectoryEmulator::new(model, 4000);
+        let exact = HardwareEmulator::new(model.clone())
+            .expect_all_z(&c)
+            .unwrap();
+        let traj = TrajectoryEmulator::new(model, 4000).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let approx = traj.expect_all_z(&c, &mut rng);
+        let approx = traj.expect_all_z(&c, &mut rng).unwrap();
         for q in 0..2 {
             assert!(
                 (approx[q] - exact[q]).abs() < 0.05,
@@ -169,9 +205,9 @@ mod tests {
     #[test]
     fn noise_free_trajectory_is_deterministic() {
         let c = test_circuit();
-        let traj = TrajectoryEmulator::new(presets::noise_free(2), 3);
+        let traj = TrajectoryEmulator::new(presets::noise_free(2), 3).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let z = traj.expect_all_z(&c, &mut rng);
+        let z = traj.expect_all_z(&c, &mut rng).unwrap();
         let psi = qnat_sim::statevector::simulate(&c);
         for q in 0..2 {
             assert!((z[q] - psi.expect_z(q)).abs() < 1e-10);
@@ -182,10 +218,10 @@ mod tests {
     fn shot_sampling_close_to_exact() {
         let c = test_circuit();
         let model = presets::santiago();
-        let traj = TrajectoryEmulator::new(model, 64);
+        let traj = TrajectoryEmulator::new(model, 64).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let exact = traj.expect_all_z(&c, &mut rng);
-        let sampled = traj.sampled_expect_all_z(&c, 64 * 2048, &mut rng);
+        let exact = traj.expect_all_z(&c, &mut rng).unwrap();
+        let sampled = traj.sampled_expect_all_z(&c, 64 * 2048, &mut rng).unwrap();
         for q in 0..2 {
             // Both estimators carry trajectory variance (σ ≈ 0.01); allow
             // a generous 6σ band to keep the test deterministic-in-practice.
@@ -199,8 +235,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one trajectory")]
-    fn zero_trajectories_rejected() {
-        TrajectoryEmulator::new(presets::santiago(), 0);
+    fn zero_trajectories_is_typed_error() {
+        let err = TrajectoryEmulator::new(presets::santiago(), 0).unwrap_err();
+        assert!(matches!(err, BackendError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn oversized_circuit_is_typed_error() {
+        let traj = TrajectoryEmulator::new(presets::santiago(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = traj.expect_all_z(&Circuit::new(9), &mut rng).unwrap_err();
+        assert!(matches!(err, BackendError::QubitCount { needed: 9, .. }));
     }
 }

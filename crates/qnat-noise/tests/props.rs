@@ -103,10 +103,10 @@ proptest! {
     #[test]
     fn emulator_output_is_physical(circuit in arb_circuit()) {
         let emu = HardwareEmulator::new(presets::yorktown());
-        let probs = emu.measure_probabilities(&circuit);
+        let probs = emu.measure_probabilities(&circuit).unwrap();
         prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-8);
         prop_assert!(probs.iter().all(|&p| p >= -1e-9));
-        for z in emu.expect_all_z(&circuit) {
+        for z in emu.expect_all_z(&circuit).unwrap() {
             prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
         }
     }

@@ -120,7 +120,7 @@ impl PauliString {
                     Pauli::Y => {
                         j ^= 1 << q;
                         // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                        phase *= if bit == 0 { C64::I } else { -C64::I };
                     }
                     Pauli::Z => {
                         if bit == 1 {
@@ -170,7 +170,7 @@ impl PauliString {
                     Pauli::X => j ^= 1 << q,
                     Pauli::Y => {
                         j ^= 1 << q;
-                        phase = phase * if bit == 0 { C64::I } else { -C64::I };
+                        phase *= if bit == 0 { C64::I } else { -C64::I };
                     }
                     Pauli::Z => {
                         if bit == 1 {

@@ -43,7 +43,8 @@ fn main() {
             },
             seed: 5,
         },
-    );
+    )
+    .expect("training succeeds");
 
     let feats: Vec<Vec<f64>> = dataset.test.iter().map(|s| s.features.clone()).collect();
     let labels: Vec<usize> = dataset.test.iter().map(|s| s.label).collect();
@@ -64,6 +65,7 @@ fn main() {
             &InferenceOptions::baseline(),
             &mut rng,
         )
+        .expect("inference succeeds")
         .accuracy(&labels);
         let norm = infer(
             &qnn,
@@ -76,6 +78,7 @@ fn main() {
             },
             &mut rng,
         )
+        .expect("inference succeeds")
         .accuracy(&labels);
         println!(
             "{:<16} {:>9.1e} {:>9.1e} {:>10.3} {:>10.3}",

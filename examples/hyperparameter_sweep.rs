@@ -37,7 +37,8 @@ fn main() {
         &dataset,
         &device,
         &sweep,
-    );
+    )
+    .expect("sweep succeeds");
     println!("{:>6} {:>7} {:>12} {:>11}", "T", "levels", "valid loss", "valid acc");
     for r in &outcome.records {
         let marker = if r.point == outcome.best { "  <-- selected" } else { "" };

@@ -97,7 +97,8 @@ fn main() {
                 pipeline,
                 seed: 7,
             },
-        );
+        )
+        .expect("training succeeds");
         let dep = qnn.deploy(&device, 2).expect("deployable");
         let mut rng = StdRng::seed_from_u64(0);
         let acc = infer(
@@ -115,6 +116,7 @@ fn main() {
             },
             &mut rng,
         )
+        .expect("inference succeeds")
         .accuracy(&labels);
         println!(
             "{label:16} valid(noise-free) {:.3}   hardware {acc:.3}",

@@ -44,7 +44,8 @@ fn main() {
             pipeline: PipelineOptions::baseline(),
             seed: 7,
         },
-    );
+    )
+    .expect("training succeeds");
 
     let mut quantumnat = Qnn::for_device(config, &device, 7).expect("fits device");
     train(
@@ -63,7 +64,8 @@ fn main() {
             },
             seed: 7,
         },
-    );
+    )
+    .expect("training succeeds");
 
     // 4. Deploy both on the emulated hardware and compare.
     let feats: Vec<Vec<f64>> = dataset.test.iter().map(|s| s.features.clone()).collect();
@@ -78,6 +80,7 @@ fn main() {
         &InferenceOptions::baseline(),
         &mut rng,
     )
+    .expect("inference succeeds")
     .accuracy(&labels);
 
     let dep_q = quantumnat.deploy(&device, 2).expect("deployable");
@@ -92,6 +95,7 @@ fn main() {
         },
         &mut rng,
     )
+    .expect("inference succeeds")
     .accuracy(&labels);
 
     println!("baseline  accuracy on noisy hardware: {acc_base:.3}");

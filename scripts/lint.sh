@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Workspace lint gate: clippy over every target with warnings promoted to
+# errors. Library crates additionally carry
+# `#![cfg_attr(not(test), deny(clippy::unwrap_used))]`, so an unwrap/expect
+# on a library (non-test) path fails this script; tests, benches and the
+# qnat-bench binaries are exempt.
+set -eu
+cd "$(dirname "$0")/.."
+cargo clippy --workspace --all-targets -- -D warnings

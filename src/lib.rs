@@ -28,6 +28,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub use qnat_autodiff as autodiff;
 pub use qnat_compiler as compiler;

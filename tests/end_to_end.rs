@@ -40,7 +40,8 @@ fn training_reaches_useful_accuracy_and_deploys() {
             },
             seed: 3,
         },
-    );
+    )
+    .unwrap();
     assert!(
         report.valid_acc > 0.7,
         "noise-free validation accuracy {}",
@@ -62,6 +63,7 @@ fn training_reaches_useful_accuracy_and_deploys() {
         },
         &mut rng,
     )
+    .expect("hardware inference succeeds")
     .accuracy(&labels);
     assert!(acc > 0.6, "hardware accuracy {acc}");
 }
@@ -81,14 +83,16 @@ fn normalization_improves_snr_on_hardware() {
         &InferenceBackend::NoiseFree,
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .unwrap();
     let noisy = infer(
         &qnn,
         &feats,
         &InferenceBackend::Hardware(&dep),
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .unwrap();
     let mut c = clean.block_outputs[0].clone();
     let mut n = noisy.block_outputs[0].clone();
     let before = snr(&c, &n);
@@ -125,7 +129,8 @@ fn noise_injected_training_is_finite_and_learns() {
             },
             seed: 9,
         },
-    );
+    )
+    .unwrap();
     let first = report.history.first().unwrap().train_loss;
     let last = report.history.last().unwrap().train_loss;
     assert!(last.is_finite() && first.is_finite());
@@ -159,7 +164,8 @@ fn ten_qubit_model_trains_and_deploys_on_melbourne() {
             },
             seed: 2,
         },
-    );
+    )
+    .unwrap();
     let dep = qnn.deploy(&device, 2).unwrap();
     let feats: Vec<Vec<f64>> = dataset.test.iter().map(|s| s.features.clone()).collect();
     let labels: Vec<usize> = dataset.test.iter().map(|s| s.label).collect();
@@ -174,7 +180,8 @@ fn ten_qubit_model_trains_and_deploys_on_melbourne() {
             process_last: false,
         },
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(result.logits.len(), 12);
     assert_eq!(result.logits[0].len(), 10);
     let acc = result.accuracy(&labels);
@@ -196,7 +203,8 @@ fn noise_model_serde_round_trips_through_deployment() {
         &InferenceBackend::Hardware(&dep),
         &InferenceOptions::baseline(),
         &mut rng,
-    );
+    )
+    .unwrap();
     assert!(out.logits[0].iter().all(|v| v.is_finite()));
 }
 
@@ -219,7 +227,8 @@ fn cross_device_deployment_uses_target_topology() {
             &InferenceBackend::Hardware(&dep),
             &InferenceOptions::baseline(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(
             out.logits.iter().flatten().all(|v| v.is_finite()),
             "deployment on {} produced non-finite logits",
