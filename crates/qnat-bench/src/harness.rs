@@ -9,6 +9,7 @@
 //! reduced numbers compare with the paper's.
 
 use qnat_core::ansatz::DesignSpace;
+use qnat_core::executor::{ExecutionReport, RetryPolicy};
 use qnat_core::forward::{PipelineOptions, QuantizeSpec};
 use qnat_core::infer::{infer, InferenceBackend, InferenceOptions, NormMode};
 use qnat_core::model::{NoiseSource, Qnn, QnnConfig};
@@ -248,6 +249,46 @@ pub fn eval_on_hardware(
     )
     .expect("hardware inference succeeds");
     result.accuracy(&labels)
+}
+
+/// Evaluates a trained model on the emulated hardware test set through the
+/// pooled batch deployment path: every block's test batch fans across
+/// `workers` threads, each job behind its own resilient executor. The
+/// accuracy is bitwise identical to any other worker count; the merged
+/// [`ExecutionReport`] is returned alongside it.
+pub fn eval_on_hardware_batched(
+    qnn: &Qnn,
+    dataset: &Dataset,
+    device: &DeviceModel,
+    arm: Arm,
+    cfg: &RunConfig,
+    opt_level: u8,
+    workers: usize,
+) -> (f64, ExecutionReport) {
+    let mut dep = qnn
+        .deploy_batch(
+            device,
+            opt_level,
+            RetryPolicy::default(),
+            None,
+            workers,
+            cfg.seed ^ 0xBA7C,
+        )
+        .expect("deployable");
+    dep.shots = cfg.shots;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7A1);
+    let features: Vec<Vec<f64>> = dataset.test.iter().map(|s| s.features.clone()).collect();
+    let labels: Vec<usize> = dataset.test.iter().map(|s| s.label).collect();
+    let result = infer(
+        qnn,
+        &features,
+        &InferenceBackend::Batch(&dep),
+        &arm_inference_options(arm, cfg),
+        &mut rng,
+    )
+    .expect("batched hardware inference succeeds");
+    let report = result.report.clone().unwrap_or_default();
+    (result.accuracy(&labels), report)
 }
 
 /// Evaluates a trained model noise-free (the "simulation" reference).

@@ -11,9 +11,10 @@
 //! 1. validate the circuit once — deterministic rejections never retry;
 //! 2. attempt the primary up to [`RetryPolicy::max_attempts`] times, with
 //!    exponentially growing, deterministically jittered backoff between
-//!    attempts (a *virtual* clock: the executor records the backoff it
-//!    would have slept in the [`ExecutionReport`] instead of stalling the
-//!    test suite);
+//!    attempts — the backoff interval is always recorded in the
+//!    [`ExecutionReport`], and the injected [`Sleeper`] decides whether it
+//!    also elapses on the wall clock ([`ThreadSleeper`], deployment) or
+//!    not ([`VirtualSleeper`], tests and benches);
 //! 3. on exhaustion, serve the job from the fallback and count a
 //!    `fallback_jobs`; after [`RetryPolicy::max_consecutive_failures`]
 //!    consecutive exhaustions the executor *degrades permanently* and stops
@@ -25,13 +26,66 @@
 use qnat_noise::backend::{BackendError, Measurements, QuantumBackend};
 use qnat_sim::circuit::Circuit;
 use std::fmt;
+use std::time::Duration;
 
 /// SplitMix64 — hashes (seed, job, attempt) into a jitter draw.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// The clock retry backoff runs on.
+///
+/// The executor always *records* backoff in its [`ExecutionReport`]; the
+/// sleeper decides whether the interval additionally elapses on the wall
+/// clock. Tests and benches inject [`VirtualSleeper`] so retry storms cost
+/// nothing; deployments serving live traffic inject [`ThreadSleeper`] so
+/// backoff actually throttles the primary backend.
+///
+/// `Send` lets an executor (sleeper included) move into a worker thread of
+/// the [`crate::batch::BatchExecutor`] pool.
+pub trait Sleeper: Send {
+    /// Sleeps for `ms` milliseconds (really or virtually) and accounts it.
+    fn sleep(&mut self, ms: u64);
+
+    /// Total milliseconds of backoff accounted so far.
+    fn slept_ms(&self) -> u64;
+}
+
+/// Records backoff without stalling — the default for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualSleeper {
+    slept_ms: u64,
+}
+
+impl Sleeper for VirtualSleeper {
+    fn sleep(&mut self, ms: u64) {
+        self.slept_ms = self.slept_ms.saturating_add(ms);
+    }
+
+    fn slept_ms(&self) -> u64 {
+        self.slept_ms
+    }
+}
+
+/// Really sleeps on the OS clock via [`std::thread::sleep`] — what a
+/// deployment serving live traffic injects so backoff throttles for real.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadSleeper {
+    slept_ms: u64,
+}
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+        self.slept_ms = self.slept_ms.saturating_add(ms);
+    }
+
+    fn slept_ms(&self) -> u64 {
+        self.slept_ms
+    }
 }
 
 /// Retry/backoff/degradation policy of a [`ResilientExecutor`].
@@ -77,8 +131,10 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry `retry` (0-based) of job `job`: exponential in
-    /// the retry index, capped at [`RetryPolicy::max_backoff_ms`], jittered
-    /// deterministically by `(jitter_seed, job, retry)`.
+    /// the retry index, jittered deterministically by
+    /// `(jitter_seed, job, retry)`, and clamped to
+    /// [`RetryPolicy::max_backoff_ms`] *after* jitter — the documented
+    /// ceiling is a hard bound on what a deployment actually sleeps.
     pub fn backoff_ms(&self, job: u64, retry: u32) -> u64 {
         let exp = self
             .base_backoff_ms
@@ -88,7 +144,7 @@ impl RetryPolicy {
         // 53-bit mantissa draw in [0, 1).
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
         let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
-        (exp as f64 * factor).round().max(0.0) as u64
+        ((exp as f64 * factor).round().max(0.0) as u64).min(self.max_backoff_ms)
     }
 }
 
@@ -122,8 +178,9 @@ pub struct ExecutionReport {
     pub fallback_jobs: usize,
     /// Whether the executor permanently degraded to the fallback.
     pub degraded: bool,
-    /// Virtual milliseconds of backoff that real deployment would have
-    /// slept.
+    /// Milliseconds of backoff accrued between retries. With a
+    /// [`ThreadSleeper`] this time really elapsed on the wall clock; with
+    /// a [`VirtualSleeper`] it was recorded only.
     pub total_backoff_ms: u64,
     /// Shots short of the requested budget, summed over truncated jobs.
     pub shot_shortfall: usize,
@@ -166,6 +223,7 @@ pub struct ResilientExecutor {
     primary: Box<dyn QuantumBackend>,
     fallback: Option<Box<dyn QuantumBackend>>,
     policy: RetryPolicy,
+    sleeper: Box<dyn Sleeper>,
     consecutive_failures: usize,
     job_index: u64,
     report: ExecutionReport,
@@ -184,11 +242,15 @@ impl fmt::Debug for ResilientExecutor {
 
 impl ResilientExecutor {
     /// An executor with no fallback: jobs that exhaust their retries fail.
+    /// Backoff runs on a [`VirtualSleeper`]; inject a [`ThreadSleeper`]
+    /// with [`ResilientExecutor::with_sleeper`] for real wall-clock
+    /// throttling.
     pub fn new(primary: Box<dyn QuantumBackend>, policy: RetryPolicy) -> Self {
         ResilientExecutor {
             primary,
             fallback: None,
             policy,
+            sleeper: Box::new(VirtualSleeper::default()),
             consecutive_failures: 0,
             job_index: 0,
             report: ExecutionReport::default(),
@@ -206,6 +268,21 @@ impl ResilientExecutor {
             fallback: Some(fallback),
             ..ResilientExecutor::new(primary, policy)
         }
+    }
+
+    /// Replaces the backoff sleeper (builder style). Deployments serving
+    /// live traffic inject a [`ThreadSleeper`] here so retry backoff
+    /// elapses on the wall clock instead of only being recorded.
+    pub fn with_sleeper(mut self, sleeper: Box<dyn Sleeper>) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Total milliseconds of backoff the sleeper has accounted — equals
+    /// [`ExecutionReport::total_backoff_ms`] for backoff accrued by this
+    /// executor.
+    pub fn slept_ms(&self) -> u64 {
+        self.sleeper.slept_ms()
     }
 
     /// The accumulated execution report.
@@ -292,8 +369,9 @@ impl ResilientExecutor {
                     }
                     if attempt + 1 < max_attempts {
                         self.report.retries += 1;
-                        self.report.total_backoff_ms +=
-                            self.policy.backoff_ms(job, attempt as u32);
+                        let backoff = self.policy.backoff_ms(job, attempt as u32);
+                        self.report.total_backoff_ms += backoff;
+                        self.sleeper.sleep(backoff);
                     }
                     last_err = Some(e);
                 }
@@ -346,6 +424,90 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn backoff_never_exceeds_documented_ceiling() {
+        // Regression: jitter used to apply *after* the max_backoff_ms cap,
+        // so a jittered interval could overshoot the ceiling by up to
+        // jitter×. The cap is a hard bound on the final value.
+        let p = RetryPolicy {
+            base_backoff_ms: 1_000,
+            max_backoff_ms: 4_000,
+            jitter: 0.25,
+            ..RetryPolicy::default()
+        };
+        let mut saturated_draws = 0u32;
+        for job in 0..200u64 {
+            for retry in 0..10u32 {
+                let b = p.backoff_ms(job, retry);
+                assert!(
+                    b <= p.max_backoff_ms,
+                    "job {job} retry {retry}: {b} > cap {}",
+                    p.max_backoff_ms
+                );
+                if retry >= 2 && b == p.max_backoff_ms {
+                    saturated_draws += 1;
+                }
+            }
+        }
+        // Roughly half of the capped-exponent draws jitter upward and
+        // clamp exactly onto the ceiling; if none do, the cap is not
+        // actually being exercised.
+        assert!(saturated_draws > 100, "cap never binds: {saturated_draws}");
+    }
+
+    #[test]
+    fn sleepers_record_identical_backoff_totals() {
+        // The two sleepers account the exact same milliseconds for the
+        // same schedule; only the wall-clock behaviour differs.
+        let mut virt = VirtualSleeper::default();
+        let mut real = ThreadSleeper::default();
+        for ms in [0, 1, 2, 5, 1, 0, 3] {
+            virt.sleep(ms);
+            real.sleep(ms);
+        }
+        assert_eq!(virt.slept_ms(), real.slept_ms());
+        assert_eq!(virt.slept_ms(), 12);
+    }
+
+    #[test]
+    fn thread_sleeper_executor_sleeps_exactly_the_reported_backoff() {
+        // Same faulty schedule through a virtual and a wall-clock
+        // executor: identical reports, identical accounted backoff, and
+        // the wall-clock run measurably elapses.
+        let policy = RetryPolicy {
+            base_backoff_ms: 2,
+            max_backoff_ms: 8,
+            ..RetryPolicy::default()
+        };
+        let make = |sleeper: Box<dyn Sleeper>| {
+            ResilientExecutor::new(
+                Box::new(FaultyBackend::new(
+                    SimulatorBackend::new(0),
+                    FaultSpec::transient(0.5, 21),
+                )),
+                policy.clone(),
+            )
+            .with_sleeper(sleeper)
+        };
+        let mut virt = make(Box::<VirtualSleeper>::default());
+        let mut real = make(Box::<ThreadSleeper>::default());
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            let _ = virt.execute(&bell(), None);
+            let _ = real.execute(&bell(), None);
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(virt.report(), real.report());
+        assert_eq!(virt.slept_ms(), virt.report().total_backoff_ms);
+        assert_eq!(real.slept_ms(), real.report().total_backoff_ms);
+        assert!(real.slept_ms() > 0, "some retries must have backed off");
+        assert!(
+            elapsed >= Duration::from_millis(real.slept_ms()),
+            "wall clock {elapsed:?} < accounted sleep {} ms",
+            real.slept_ms()
+        );
     }
 
     #[test]

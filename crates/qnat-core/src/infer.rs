@@ -8,7 +8,7 @@
 //! measurement outcomes pass through post-measurement normalization (batch
 //! or validation statistics) and quantization before re-upload.
 //!
-//! Two deployment shapes exist:
+//! Three deployment shapes exist:
 //!
 //! * [`Qnn::deploy`] — the direct emulator path, which surfaces any
 //!   [`BackendError`] to the caller.
@@ -17,11 +17,17 @@
 //!   graceful degradation from the hardware emulator to the Pauli
 //!   noise-model simulator). [`infer`] surfaces the merged
 //!   [`ExecutionReport`] on the result.
+//! * [`Qnn::deploy_batch`] — like `deploy_resilient`, but each block's
+//!   whole batch of circuits is fanned across a
+//!   [`BatchExecutor`](crate::batch::BatchExecutor) worker pool. Per-job
+//!   seeding keeps results bitwise identical to the single-worker path
+//!   regardless of pool size.
 //!
 //! The whole pipeline is fallible: [`infer`] returns [`InferError`] instead
 //! of panicking, so a flaky backend can never take down a deployment loop.
 
-use crate::executor::{ExecutionReport, ResilientExecutor, RetryPolicy};
+use crate::batch::{BatchExecutor, BatchJob};
+use crate::executor::{splitmix64, ExecutionReport, ResilientExecutor, RetryPolicy};
 use crate::forward::QuantizeSpec;
 use crate::head::apply_head;
 use crate::model::{NoiseSource, Qnn};
@@ -148,8 +154,9 @@ pub struct InferenceResult {
     /// `block_outputs[block][sample][qubit]`.
     pub block_outputs: Vec<Vec<Vec<f64>>>,
     /// Cumulative execution report of the resilient executors (present
-    /// only for [`InferenceBackend::Resilient`] — retries, virtual backoff
-    /// and degradation events since the model was deployed).
+    /// for [`InferenceBackend::Resilient`] and [`InferenceBackend::Batch`]
+    /// — retries, backoff and degradation events since the model was
+    /// deployed).
     pub report: Option<ExecutionReport>,
 }
 
@@ -280,6 +287,103 @@ impl ResilientQnn<'_> {
     }
 }
 
+/// One block of a batch deployment: routed and lowered once, with the
+/// device window kept so per-job backends can be built inside the pool.
+struct BatchBlock {
+    lowered: SymbolicLowered,
+    obs: Vec<usize>,
+    view: DeviceModel,
+}
+
+/// A QNN deployed for pooled batch submission: each block's circuits fan
+/// out across a [`BatchExecutor`] worker pool, every job behind its own
+/// seed-derived [`ResilientExecutor`] (hardware emulator primary, Pauli
+/// noise-model fallback, optional injected faults).
+///
+/// Results are bitwise independent of `workers` — see the determinism
+/// notes on [`crate::batch`].
+pub struct BatchedQnn<'a> {
+    qnn: &'a Qnn,
+    blocks: Vec<BatchBlock>,
+    /// Finite-shot sampling (`None` = exact expectations).
+    pub shots: Option<usize>,
+    policy: RetryPolicy,
+    faults: Option<FaultSpec>,
+    workers: usize,
+    seed: u64,
+    // `infer` holds the deployment by shared reference while batch runs
+    // accumulate into the report — hence interior mutability. A deployment
+    // is driven from one thread; the pool lives inside `eval_block_batch`.
+    report: RefCell<ExecutionReport>,
+}
+
+impl BatchedQnn<'_> {
+    /// Evaluates one block for the whole batch through the worker pool.
+    fn eval_block_batch(
+        &self,
+        block_idx: usize,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, BackendError> {
+        let block = &self.qnn.blocks()[block_idx];
+        let dep = &self.blocks[block_idx];
+        let jobs: Vec<BatchJob> = rows
+            .iter()
+            .map(|row| {
+                let mut params = block.encoder.angles(row);
+                params.extend_from_slice(self.qnn.block_params(block_idx));
+                BatchJob {
+                    circuit: dep.lowered.bind(&params),
+                    shots: self.shots,
+                }
+            })
+            .collect();
+        let view = &dep.view;
+        let policy = &self.policy;
+        let faults = self.faults;
+        let factory = move |job_seed: u64| -> Result<ResilientExecutor, BackendError> {
+            let emulator = EmulatorBackend::new(view, job_seed)?;
+            let primary: Box<dyn QuantumBackend> = match faults {
+                Some(spec) => Box::new(FaultyBackend::new(
+                    emulator,
+                    FaultSpec {
+                        seed: spec.seed ^ job_seed,
+                        ..spec
+                    },
+                )),
+                None => Box::new(emulator),
+            };
+            let fallback = NoiseModelBackend::new(view, job_seed ^ 0x5eed)?;
+            Ok(ResilientExecutor::with_fallback(
+                primary,
+                Box::new(fallback),
+                RetryPolicy {
+                    jitter_seed: policy.jitter_seed ^ job_seed,
+                    ..policy.clone()
+                },
+            ))
+        };
+        let pool_seed = splitmix64(self.seed ^ (block_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let outcome = BatchExecutor::new(self.workers, pool_seed, factory).execute(&jobs);
+        self.report.borrow_mut().merge(&outcome.report);
+        let measurements = outcome.into_measurements()?;
+        Ok(measurements
+            .into_iter()
+            .map(|m| dep.obs.iter().map(|&w| m.expectations[w]).collect())
+            .collect())
+    }
+
+    /// Cumulative merged execution report of every pooled batch run since
+    /// deployment.
+    pub fn report(&self) -> ExecutionReport {
+        self.report.borrow().clone()
+    }
+
+    /// The configured worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
 impl Qnn {
     /// Transpiles the model for a device. `opt_level ≥ 3` enables the
     /// noise-adaptive initial layout (Table 7); lower levels use the
@@ -374,6 +478,46 @@ impl Qnn {
             shots: None,
         })
     }
+
+    /// Transpiles the model for pooled batch submission: at inference time
+    /// every block fans its whole batch across `workers` threads, each job
+    /// behind a fresh seed-derived [`ResilientExecutor`] (hardware emulator
+    /// primary, Pauli noise-model fallback, `faults` injected into the
+    /// primary if given). `seed` drives all per-job backend and jitter
+    /// streams; results do not depend on `workers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small.
+    pub fn deploy_batch<'a>(
+        &'a self,
+        device: &DeviceModel,
+        opt_level: u8,
+        policy: RetryPolicy,
+        faults: Option<FaultSpec>,
+        workers: usize,
+        seed: u64,
+    ) -> Result<BatchedQnn<'a>, InvalidDeviceError> {
+        let mut blocks = Vec::with_capacity(self.blocks().len());
+        for block in self.blocks() {
+            let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+            blocks.push(BatchBlock {
+                lowered: lower_symbolic(&windowed),
+                obs,
+                view,
+            });
+        }
+        Ok(BatchedQnn {
+            qnn: self,
+            blocks,
+            shots: None,
+            policy,
+            faults,
+            workers: workers.max(1),
+            seed,
+            report: RefCell::new(ExecutionReport::default()),
+        })
+    }
 }
 
 /// Shared routing front half of both deployment paths: layout, routing,
@@ -423,6 +567,9 @@ pub enum InferenceBackend<'a> {
     /// The hardware emulator behind retry/backoff executors with graceful
     /// degradation to the noise-model simulator.
     Resilient(&'a ResilientQnn<'a>),
+    /// Like [`InferenceBackend::Resilient`], but whole batches are fanned
+    /// across a worker pool ([`Qnn::deploy_batch`]).
+    Batch(&'a BatchedQnn<'a>),
 }
 
 /// Runs the full inference pipeline over a batch.
@@ -456,8 +603,12 @@ pub fn infer<R: Rng>(
     let mut activations: Vec<Vec<f64>> = features.to_vec();
     let mut block_outputs = Vec::with_capacity(n_blocks);
     for bi in 0..n_blocks {
-        // Raw outcomes for the whole batch.
-        let raw: Vec<Vec<f64>> = activations
+        // Raw outcomes for the whole batch. The batch backend submits all
+        // rows to its worker pool at once; the others evaluate row by row.
+        let raw: Vec<Vec<f64>> = if let InferenceBackend::Batch(dep) = backend {
+            dep.eval_block_batch(bi, &activations)?
+        } else {
+            activations
             .iter()
             .map(|row| -> Result<Vec<f64>, InferError> {
                 match backend {
@@ -487,9 +638,12 @@ pub fn infer<R: Rng>(
                     }
                     InferenceBackend::Hardware(dep) => Ok(dep.eval_block(bi, row, rng)?),
                     InferenceBackend::Resilient(dep) => Ok(dep.eval_block(bi, row)?),
+                    // Handled by the whole-batch path above.
+                    InferenceBackend::Batch(_) => unreachable!(),
                 }
             })
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()?
+        };
         block_outputs.push(raw.clone());
         let mut processed = raw;
         if bi + 1 == n_blocks && !opts.process_last {
@@ -515,6 +669,7 @@ pub fn infer<R: Rng>(
     let logits = apply_head(&activations, qnn.config().n_classes);
     let report = match backend {
         InferenceBackend::Resilient(dep) => Some(dep.report()),
+        InferenceBackend::Batch(dep) => Some(dep.report()),
         _ => None,
     };
     Ok(InferenceResult {
@@ -830,5 +985,84 @@ mod tests {
         assert_eq!(report.jobs, report.attempts);
         assert_eq!(report.retries, 0);
         assert!(!report.degraded);
+    }
+
+    #[test]
+    fn batch_fault_free_matches_hardware_backend() {
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::for_device(cfg, &presets::santiago(), 7).unwrap();
+        let dep = qnn.deploy(&presets::santiago(), 2).unwrap();
+        let pooled = qnn
+            .deploy_batch(&presets::santiago(), 2, RetryPolicy::default(), None, 4, 0)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = toy_batch();
+        let hw = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Hardware(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        )
+        .unwrap();
+        let pb = infer(
+            &qnn,
+            &batch,
+            &InferenceBackend::Batch(&pooled),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        )
+        .unwrap();
+        // Exact expectations are deterministic, so the pooled path agrees
+        // with the direct emulator bit-for-bit.
+        for (a, b) in hw
+            .block_outputs
+            .iter()
+            .flatten()
+            .flatten()
+            .zip(pb.block_outputs.iter().flatten().flatten())
+        {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let report = pb.report.expect("batch run carries a report");
+        assert_eq!(report.jobs, 2 * batch.len());
+        assert_eq!(report.retries, 0);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn batch_inference_is_worker_count_invariant_under_faults() {
+        let cfg = QnnConfig::standard(16, 4, 2, 2);
+        let qnn = Qnn::for_device(cfg, &presets::yorktown(), 9).unwrap();
+        let batch = toy_batch();
+        let run = |workers: usize| {
+            let pooled = qnn
+                .deploy_batch(
+                    &presets::yorktown(),
+                    2,
+                    RetryPolicy::default(),
+                    Some(FaultSpec::transient(0.3, 11)),
+                    workers,
+                    42,
+                )
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(0);
+            let r = infer(
+                &qnn,
+                &batch,
+                &InferenceBackend::Batch(&pooled),
+                &InferenceOptions::default(),
+                &mut rng,
+            )
+            .unwrap();
+            (r.logits, r.block_outputs, r.report)
+        };
+        let serial = run(1);
+        let pooled = run(4);
+        assert_eq!(serial.0, pooled.0);
+        assert_eq!(serial.1, pooled.1);
+        assert_eq!(serial.2, pooled.2);
+        let report = serial.2.expect("report present");
+        assert!(report.retries > 0, "30% transient faults should retry");
     }
 }

@@ -18,8 +18,9 @@
 //! [`mod@train`] the Adam/warmup-cosine training loop; [`mod@infer`] the
 //! noise-free, Pauli-model and hardware-emulator inference pipelines;
 //! [`executor`] resilient execution (retry/backoff and graceful
-//! degradation to the noise-model simulator); [`mitigate`] zero-noise
-//! extrapolation (Table 4).
+//! degradation to the noise-model simulator); [`batch`] worker-pool
+//! parallel job submission over per-job resilient executors; [`mitigate`]
+//! zero-noise extrapolation (Table 4).
 //!
 //! ## Example
 //!
@@ -40,6 +41,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ansatz;
+pub mod batch;
 pub mod encoder;
 pub mod executor;
 pub mod forward;
@@ -53,7 +55,10 @@ pub mod sweep;
 pub mod train;
 
 pub use ansatz::DesignSpace;
-pub use executor::{ExecutionReport, ResilientExecutor, RetryPolicy};
+pub use batch::{BatchExecutor, BatchJob, BatchOutcome};
+pub use executor::{
+    ExecutionReport, ResilientExecutor, RetryPolicy, Sleeper, ThreadSleeper, VirtualSleeper,
+};
 pub use forward::{PipelineOptions, QuantizeSpec};
 pub use infer::{infer, InferError, InferenceBackend, InferenceOptions, NormMode};
 pub use model::{NoiseSource, Qnn, QnnConfig};

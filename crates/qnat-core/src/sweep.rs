@@ -6,6 +6,11 @@
 //! validation set." This module runs that grid: each candidate trains a
 //! fresh model with the full QuantumNAT pipeline, and the winner is the
 //! candidate with the lowest noise-free validation loss.
+//!
+//! Candidates are independent, so the grid fans out across
+//! [`SweepConfig::workers`] threads. Every candidate trains from the same
+//! fixed seed and records land in grid order with ties broken toward the
+//! earlier grid point, so the outcome is identical for any worker count.
 
 use crate::forward::{PipelineOptions, QuantizeSpec};
 use crate::model::{NoiseSource, Qnn, QnnConfig};
@@ -48,6 +53,9 @@ pub struct SweepConfig {
     pub quant_penalty: f64,
     /// Seed shared by all candidates (fair comparison).
     pub seed: u64,
+    /// Threads to spread grid candidates across (clamped to ≥ 1). The
+    /// selected point and all records are independent of this.
+    pub workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -59,6 +67,7 @@ impl Default for SweepConfig {
             batch_size: 32,
             quant_penalty: 0.05,
             seed: 7,
+            workers: 1,
         }
     }
 }
@@ -96,52 +105,98 @@ pub fn select_hyperparameters(
         !sweep.t_factors.is_empty() && !sweep.levels.is_empty(),
         "empty sweep grid"
     );
-    let mut records = Vec::with_capacity(sweep.t_factors.len() * sweep.levels.len());
-    let mut best: Option<(f64, SweepPoint, Qnn)> = None;
-    for &t in &sweep.t_factors {
-        for &levels in &sweep.levels {
-            let point = SweepPoint {
+    let points: Vec<SweepPoint> = sweep
+        .t_factors
+        .iter()
+        .flat_map(|&t| {
+            sweep.levels.iter().map(move |&levels| SweepPoint {
                 t_factor: t,
                 levels,
-            };
-            let mut qnn =
-                Qnn::for_device(config, device, sweep.seed).expect("config fits device");
-            let pipeline = PipelineOptions {
-                noise: NoiseSource::GateInsertion {
-                    model: device,
-                    factor: t,
-                },
-                readout: Some(device),
-                normalize: true,
-                quantize: Some(QuantizeSpec::levels(levels)),
-                quant_penalty: sweep.quant_penalty,
-                process_last: false,
-            };
-            let report = train(
-                &mut qnn,
-                dataset,
-                &TrainOptions {
-                    adam: sweep.adam,
-                    batch_size: sweep.batch_size,
-                    pipeline,
-                    seed: sweep.seed,
-                },
-            )?;
-            records.push(SweepRecord {
+            })
+        })
+        .collect();
+    let n = points.len();
+    let workers = sweep.workers.max(1).min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let run_candidate = |point: SweepPoint| -> Result<(SweepRecord, Qnn), crate::infer::InferError> {
+        // Same seed for every candidate (fair comparison) — and a pure
+        // function of the grid point, so pooled execution cannot change
+        // any candidate's training run.
+        let mut qnn = Qnn::for_device(config, device, sweep.seed).expect("config fits device");
+        let pipeline = PipelineOptions {
+            noise: NoiseSource::GateInsertion {
+                model: device,
+                factor: point.t_factor,
+            },
+            readout: Some(device),
+            normalize: true,
+            quantize: Some(QuantizeSpec::levels(point.levels)),
+            quant_penalty: sweep.quant_penalty,
+            process_last: false,
+        };
+        let report = train(
+            &mut qnn,
+            dataset,
+            &TrainOptions {
+                adam: sweep.adam,
+                batch_size: sweep.batch_size,
+                pipeline,
+                seed: sweep.seed,
+            },
+        )?;
+        Ok((
+            SweepRecord {
                 point,
                 valid_loss: report.valid_loss,
                 valid_acc: report.valid_acc,
-            });
-            let better = match &best {
-                Some((loss, _, _)) => report.valid_loss < *loss,
-                None => true,
-            };
-            if better {
-                best = Some((report.valid_loss, point, qnn));
-            }
+            },
+            qnn,
+        ))
+    };
+    type Finished = Vec<(usize, Result<(SweepRecord, Qnn), crate::infer::InferError>)>;
+    let mut finished: Finished = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, run_candidate(points[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+    // Grid order: records deterministic, ties broken toward the earlier
+    // point regardless of which worker finished first.
+    finished.sort_by_key(|(i, _)| *i);
+    let mut records = Vec::with_capacity(n);
+    let mut best: Option<(f64, SweepPoint, Qnn)> = None;
+    for (_, candidate) in finished {
+        let (record, qnn) = candidate?;
+        let better = match &best {
+            Some((loss, _, _)) => record.valid_loss < *loss,
+            None => true,
+        };
+        if better {
+            best = Some((record.valid_loss, record.point, qnn));
         }
+        records.push(record);
     }
-    let (_, best_point, best_model) = best.expect("non-empty grid");
+    let Some((_, best_point, best_model)) = best else {
+        unreachable!("non-empty grid");
+    };
     Ok(SweepOutcome {
         best_model,
         best: best_point,
@@ -185,6 +240,40 @@ mod tests {
             .expect("winner recorded");
         assert!((winner.valid_loss - min_loss).abs() < 1e-12);
         assert!(outcome.best_model.n_params() > 0);
+    }
+
+    #[test]
+    fn sweep_outcome_is_worker_count_invariant() {
+        let dataset = build(Task::Mnist2, &TaskConfig::small(2));
+        let device = presets::santiago();
+        let run = |workers: usize| {
+            let sweep = SweepConfig {
+                t_factors: vec![0.5, 1.0],
+                levels: vec![4],
+                adam: AdamConfig::fast(3),
+                workers,
+                ..SweepConfig::default()
+            };
+            select_hyperparameters(QnnConfig::standard(16, 2, 1, 2), &dataset, &device, &sweep)
+                .unwrap()
+        };
+        let serial = run(1);
+        let pooled = run(3);
+        assert_eq!(serial.best, pooled.best);
+        assert_eq!(serial.records.len(), pooled.records.len());
+        for (a, b) in serial.records.iter().zip(&pooled.records) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.valid_loss.to_bits(), b.valid_loss.to_bits());
+            assert_eq!(a.valid_acc.to_bits(), b.valid_acc.to_bits());
+        }
+        for (a, b) in serial
+            .best_model
+            .parameters()
+            .iter()
+            .zip(pooled.best_model.parameters())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

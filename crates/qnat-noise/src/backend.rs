@@ -216,7 +216,11 @@ pub fn validate_circuit(
 ///
 /// `execute` takes `&mut self` because physical backends hold sampling RNG
 /// state and a job counter; determinism is per-backend-seed, not global.
-pub trait QuantumBackend {
+///
+/// The `Send` supertrait lets `Box<dyn QuantumBackend>` trait objects (and
+/// the executors that own them) move into worker threads — the batch
+/// executor in `qnat-core` fans jobs out across a `std::thread` pool.
+pub trait QuantumBackend: Send {
     /// Backend name for reports and error messages.
     fn name(&self) -> &str;
 

@@ -245,12 +245,12 @@ impl DeviceModel {
             amp_damping: self
                 .amp_damping
                 .iter()
-                .map(|&d| (d * t).min(1.0))
+                .map(|&d| (d * t).clamp(0.0, 1.0))
                 .collect(),
             phase_damping: self
                 .phase_damping
                 .iter()
-                .map(|&d| (d * t).min(1.0))
+                .map(|&d| (d * t).clamp(0.0, 1.0))
                 .collect(),
             ..self.clone()
         }
@@ -276,12 +276,12 @@ impl DeviceModel {
             amp_damping: self
                 .amp_damping
                 .iter()
-                .map(|&d| (d * gate_t).min(1.0))
+                .map(|&d| (d * gate_t).clamp(0.0, 1.0))
                 .collect(),
             phase_damping: self
                 .phase_damping
                 .iter()
-                .map(|&d| (d * gate_t).min(1.0))
+                .map(|&d| (d * gate_t).clamp(0.0, 1.0))
                 .collect(),
             ..self.clone()
         }

@@ -26,9 +26,12 @@ pub struct FaultSpec {
     /// Fraction of the requested shots delivered when truncated.
     pub shot_truncation_factor: f64,
     /// Readout error scale grows by this per job index (calibration
-    /// drift): job `k` runs at scale `1 + k·rate`.
+    /// drift): job `k` runs at scale `1 + k·rate`. Drifted error
+    /// probabilities are clamped into `[0, 1]` by the device model, so
+    /// arbitrarily long runs saturate instead of producing invalid
+    /// channels.
     pub readout_drift_per_job: f64,
-    /// Gate error scale grows by this per job index.
+    /// Gate error scale grows by this per job index (same clamping).
     pub gate_drift_per_job: f64,
     /// Seed of the per-job fault schedule.
     pub seed: u64,
@@ -137,8 +140,8 @@ impl<B: QuantumBackend> QuantumBackend for FaultyBackend<B> {
         if self.spec.has_drift() {
             let k = job as f64;
             self.inner.apply_drift(
-                1.0 + k * self.spec.gate_drift_per_job,
-                1.0 + k * self.spec.readout_drift_per_job,
+                (1.0 + k * self.spec.gate_drift_per_job).max(0.0),
+                (1.0 + k * self.spec.readout_drift_per_job).max(0.0),
             );
         }
         // Fault rolls happen in a fixed order so the schedule is stable
@@ -251,6 +254,46 @@ mod tests {
             b.execute(&c, None).unwrap_err(),
             BackendError::NonFiniteParameter { .. }
         ));
+    }
+
+    #[test]
+    fn heavy_drift_saturates_instead_of_failing() {
+        // Regression: drifted Pauli probabilities used to renormalize to a
+        // sum one ulp above 1.0, so long runs (scale ≫ 1) hit non-retryable
+        // InvalidChannel errors mid-run. They must clamp into [0, 1] and
+        // keep serving physical expectations instead.
+        use crate::backend::EmulatorBackend;
+        use crate::presets;
+        let model = presets::yorktown().subdevice(&[0, 1]).unwrap();
+        let mut b = FaultyBackend::new(
+            EmulatorBackend::new(&model, 3).unwrap(),
+            FaultSpec {
+                gate_drift_per_job: 2.0,
+                readout_drift_per_job: 2.0,
+                seed: 4,
+                ..FaultSpec::none()
+            },
+        );
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        for job in 0..400 {
+            let m = b.execute(&c, None).unwrap_or_else(|e| {
+                panic!("job {job} failed under heavy drift: {e}")
+            });
+            assert!(
+                m.expectations.iter().all(|z| z.is_finite() && z.abs() <= 1.0 + 1e-9),
+                "job {job} produced unphysical expectations: {:?}",
+                m.expectations
+            );
+        }
+        // The drifted model itself stays a valid probability distribution.
+        let drifted = model.drifted(1e6, 1e6);
+        for q in 0..drifted.n_qubits() {
+            let e = drifted.single_qubit_error(q);
+            assert!(e.validate().is_ok(), "qubit {q}: {e:?}");
+            assert!(e.total() <= 1.0, "qubit {q} total {}", e.total());
+        }
     }
 
     #[test]

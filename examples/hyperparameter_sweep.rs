@@ -25,12 +25,16 @@ fn main() {
             total_epochs: 20,
             ..AdamConfig::default()
         },
+        // Candidates are independent — fan them across a small pool. The
+        // selected point is identical for any worker count.
+        workers: 4,
         ..SweepConfig::default()
     };
     println!(
-        "sweeping {} candidates on {} ...\n",
+        "sweeping {} candidates on {} ({} workers) ...\n",
         sweep.t_factors.len() * sweep.levels.len(),
-        device.name()
+        device.name(),
+        sweep.workers
     );
     let outcome = select_hyperparameters(
         QnnConfig::standard(16, 2, 2, 2),

@@ -26,7 +26,10 @@ fn main() {
 
     // 3. Two models: a noise-unaware baseline and a QuantumNAT model
     //    trained with normalization + gate-insertion noise + quantization.
-    let config = QnnConfig::standard(dataset.n_features, dataset.n_classes, 2, 2);
+    //    Three layers per block: deep enough that gate noise visibly
+    //    erodes the noise-unaware baseline (each CU3 layer compounds the
+    //    ~4e-2 two-qubit error), shallow enough that both models train.
+    let config = QnnConfig::standard(dataset.n_features, dataset.n_classes, 2, 3);
     let adam = AdamConfig {
         lr_max: 1.5e-2,
         warmup_epochs: 8,
@@ -100,4 +103,5 @@ fn main() {
 
     println!("baseline  accuracy on noisy hardware: {acc_base:.3}");
     println!("QuantumNAT accuracy on noisy hardware: {acc_qnat:.3}");
+    println!("noise-aware training gain: {:+.3}", acc_qnat - acc_base);
 }

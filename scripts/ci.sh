@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full CI gate, in the order a reviewer wants failures surfaced:
+#   1. tier-1: release build + the whole workspace test suite
+#   2. lint:   clippy -D warnings (scripts/lint.sh)
+#   3. perf:   the batch-throughput acceptance bench, which asserts the
+#              4-worker pool beats single-threaded submission by >= 2x
+#              on a 64-job batch with real wall-clock backoff
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== lint: scripts/lint.sh =="
+./scripts/lint.sh
+
+echo "== bench: batch_throughput acceptance gate =="
+cargo bench -p qnat-bench --bench batch_throughput
+
+echo "CI OK"

@@ -189,6 +189,83 @@ fn ten_qubit_model_trains_and_deploys_on_melbourne() {
 }
 
 #[test]
+fn batched_deployment_matches_direct_and_survives_faults() {
+    use quantumnat::core::executor::RetryPolicy;
+    use quantumnat::core::infer::InferenceOptions;
+    use quantumnat::noise::fault::FaultSpec;
+
+    let device = presets::santiago();
+    let qnn = Qnn::for_device(QnnConfig::standard(16, 4, 1, 2), &device, 8).unwrap();
+    let feats: Vec<Vec<f64>> = (0..8)
+        .map(|i| (0..16).map(|k| ((i * 16 + k) as f64 * 0.29).sin().abs()).collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Fault-free, exact expectations: the pooled batch path reproduces the
+    // direct emulator deployment bit-for-bit.
+    let dep = qnn.deploy(&device, 2).unwrap();
+    let direct = infer(
+        &qnn,
+        &feats,
+        &InferenceBackend::Hardware(&dep),
+        &InferenceOptions::baseline(),
+        &mut rng,
+    )
+    .unwrap();
+    let pooled = qnn
+        .deploy_batch(&device, 2, RetryPolicy::default(), None, 4, 0)
+        .unwrap();
+    let batched = infer(
+        &qnn,
+        &feats,
+        &InferenceBackend::Batch(&pooled),
+        &InferenceOptions::baseline(),
+        &mut rng,
+    )
+    .unwrap();
+    for (a, b) in direct
+        .block_outputs
+        .iter()
+        .flatten()
+        .flatten()
+        .zip(batched.block_outputs.iter().flatten().flatten())
+    {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    // Under injected transient faults the pooled path still completes,
+    // reports its retries, and stays invariant to the worker count.
+    let run = |workers: usize| {
+        let dep = qnn
+            .deploy_batch(
+                &device,
+                2,
+                RetryPolicy::default(),
+                Some(FaultSpec::transient(0.3, 13)),
+                workers,
+                99,
+            )
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        infer(
+            &qnn,
+            &feats,
+            &InferenceBackend::Batch(&dep),
+            &InferenceOptions::baseline(),
+            &mut rng,
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.logits, parallel.logits);
+    let report = parallel.report.expect("batch runs carry a report");
+    assert_eq!(serial.report, Some(report.clone()));
+    assert!(report.retries > 0, "30% transient faults should retry");
+    assert_eq!(report.jobs, feats.len());
+}
+
+#[test]
 fn noise_model_serde_round_trips_through_deployment() {
     // Serialize a device model (as Qiskit would ship it), parse it back,
     // and use it for deployment.
