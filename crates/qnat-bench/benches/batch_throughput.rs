@@ -35,7 +35,7 @@ fn jobs() -> Vec<BatchJob> {
 /// Flaky-primary / clean-fallback executor with real wall-clock backoff.
 /// Small intervals keep the bench quick; the retry *count* is what the
 /// pool overlaps.
-fn factory(seed: u64) -> Result<ResilientExecutor, BackendError> {
+fn factory(_job: u64, seed: u64) -> Result<ResilientExecutor, BackendError> {
     let policy = RetryPolicy {
         max_attempts: 4,
         base_backoff_ms: 3,

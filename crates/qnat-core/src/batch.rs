@@ -35,6 +35,9 @@
 //! worker counts.
 
 use crate::executor::{splitmix64, ExecutionReport, ResilientExecutor};
+use crate::health::{
+    Admission, DeadlineBudget, DeadlinePolicy, HealthPolicy, HealthRegistry, JobSignal,
+};
 use qnat_noise::backend::{BackendError, Measurements};
 use qnat_sim::circuit::Circuit;
 use std::panic;
@@ -90,17 +93,26 @@ impl BatchOutcome {
     }
 }
 
+/// How a deadline budget is handed to per-job executors.
+enum DeadlineMode {
+    /// A fresh budget of this many ms per job.
+    PerJob(u64),
+    /// One shared budget for the whole batch.
+    Shared(DeadlineBudget),
+}
+
 /// A worker-pool batch front-end over per-job [`ResilientExecutor`]s.
 ///
-/// `factory` receives the splitmix-derived per-job seed and builds that
-/// job's executor (backends, fault decorators, retry policy, sleeper). It
-/// must be deterministic in the seed — that is what makes batch results
-/// independent of the worker count. The factory is fallible so deployment
-/// code can surface backend-construction errors as that job's result
-/// instead of panicking inside a worker.
+/// `factory` receives the batch-global job index and the splitmix-derived
+/// per-job seed, and builds that job's executor (backends, fault
+/// decorators, retry policy, sleeper). It must be deterministic in its
+/// arguments — that is what makes batch results independent of the worker
+/// count. The factory is fallible so deployment code can surface
+/// backend-construction errors as that job's result instead of panicking
+/// inside a worker.
 pub struct BatchExecutor<F>
 where
-    F: Fn(u64) -> Result<ResilientExecutor, BackendError> + Sync,
+    F: Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + Sync,
 {
     factory: F,
     workers: usize,
@@ -109,7 +121,7 @@ where
 
 impl<F> BatchExecutor<F>
 where
-    F: Fn(u64) -> Result<ResilientExecutor, BackendError> + Sync,
+    F: Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + Sync,
 {
     /// A pool of `workers` threads (clamped to ≥ 1) over `factory`.
     pub fn new(workers: usize, seed: u64, factory: F) -> Self {
@@ -137,6 +149,66 @@ where
     /// in the outcome rather than aborting the batch, so one poisoned job
     /// cannot sink its siblings.
     pub fn execute(&self, jobs: &[BatchJob]) -> BatchOutcome {
+        let finished = self.run_slice(jobs, 0, None, None);
+        Self::collect(finished, jobs.len())
+    }
+
+    /// Like [`BatchExecutor::execute`], but under `policy`'s health layer:
+    /// fleet-wide circuit breaking over the primary backend (the breaker
+    /// registered in `registry` under `breaker_key`) and/or deadline
+    /// budgets.
+    ///
+    /// With a breaker, jobs run in epochs of
+    /// [`crate::health::BreakerPolicy::decision_interval`]: admissions are
+    /// planned before each epoch and outcomes observed in job-index order
+    /// after it, so results stay bitwise worker-count invariant — see the
+    /// determinism contract in [`crate::health`].
+    pub fn execute_with_health(
+        &self,
+        jobs: &[BatchJob],
+        policy: &HealthPolicy,
+        registry: &HealthRegistry,
+        breaker_key: &str,
+    ) -> BatchOutcome {
+        let deadline = policy.deadline.map(|d| match d {
+            DeadlinePolicy::PerJob(ms) => DeadlineMode::PerJob(ms),
+            DeadlinePolicy::Batch(ms) => DeadlineMode::Shared(DeadlineBudget::new(ms)),
+        });
+        let Some(breaker_policy) = &policy.breaker else {
+            let finished = self.run_slice(jobs, 0, None, deadline.as_ref());
+            return Self::collect(finished, jobs.len());
+        };
+        let epoch_len = breaker_policy.decision_interval.max(1);
+        let mut finished = Vec::with_capacity(jobs.len());
+        let mut base = 0usize;
+        for chunk in jobs.chunks(epoch_len) {
+            let admissions =
+                registry.with_breaker(breaker_key, breaker_policy, |b| b.plan_epoch(chunk.len()));
+            let mut part = self.run_slice(chunk, base, Some(&admissions), deadline.as_ref());
+            part.sort_by_key(|(i, _, _)| *i);
+            registry.with_breaker(breaker_key, breaker_policy, |b| {
+                for (i, result, report) in &part {
+                    b.observe(admissions[i - base], job_signal(result, report));
+                }
+                b.end_epoch();
+            });
+            finished.extend(part);
+            base += chunk.len();
+        }
+        Self::collect(finished, jobs.len())
+    }
+
+    /// Fans `jobs` (batch-global indices `base..base + jobs.len()`) across
+    /// the pool. `admissions`, when given, is index-aligned with `jobs`
+    /// and marks breaker-short-circuited jobs; `deadline` attaches backoff
+    /// budgets.
+    fn run_slice(
+        &self,
+        jobs: &[BatchJob],
+        base: usize,
+        admissions: Option<&[Admission]>,
+        deadline: Option<&DeadlineMode>,
+    ) -> Vec<(usize, Result<Measurements, BackendError>, ExecutionReport)> {
         let n = jobs.len();
         let workers = self.workers.min(n.max(1));
         let next = AtomicUsize::new(0);
@@ -148,36 +220,55 @@ where
                 if i >= n {
                     break;
                 }
-                let (result, mut report) = match (self.factory)(self.job_seed(i as u64)) {
+                let g = (base + i) as u64;
+                let (result, mut report) = match (self.factory)(g, self.job_seed(g)) {
                     Ok(mut ex) => {
+                        match deadline {
+                            Some(DeadlineMode::PerJob(ms)) => {
+                                ex = ex.with_deadline(DeadlineBudget::new(*ms));
+                            }
+                            Some(DeadlineMode::Shared(budget)) => {
+                                ex = ex.with_deadline(budget.clone());
+                            }
+                            None => {}
+                        }
+                        if admissions.map(|a| a[i]) == Some(Admission::ShortCircuit) {
+                            ex.short_circuit_primary();
+                        }
                         let r = ex.execute(&jobs[i].circuit, jobs[i].shots);
                         (r, ex.report().clone())
                     }
                     Err(e) => (Err(e), ExecutionReport::default()),
                 };
                 // Per-job executors number their (single) job 0; remap to
-                // the batch-global index so merged failure records stay
-                // attributable.
+                // the batch-global index so merged failure records and
+                // surfaced errors stay attributable.
                 for f in &mut report.failures {
-                    f.job = i as u64;
+                    f.job = g;
                 }
-                done.push((i, result, report));
+                done.push((base + i, result.map_err(|e| e.with_job(g)), report));
             }
             done
         };
-        let mut finished: Vec<(usize, Result<Measurements, BackendError>, ExecutionReport)> =
-            thread::scope(|s| {
-                let handles: Vec<_> = (0..workers).map(|_| s.spawn(run_worker)).collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| {
-                        h.join()
-                            .unwrap_or_else(|payload| panic::resume_unwind(payload))
-                    })
-                    .collect()
-            });
-        // Job-index order makes the merged report (failure list included)
-        // independent of which worker finished when.
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|_| s.spawn(run_worker)).collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| panic::resume_unwind(payload))
+                })
+                .collect()
+        })
+    }
+
+    /// Sorts per-job results into job-index order and merges the reports —
+    /// the order makes the merged report (failure list included)
+    /// independent of which worker finished when.
+    fn collect(
+        mut finished: Vec<(usize, Result<Measurements, BackendError>, ExecutionReport)>,
+        n: usize,
+    ) -> BatchOutcome {
         finished.sort_by_key(|(i, _, _)| *i);
         let mut report = ExecutionReport::default();
         let mut results = Vec::with_capacity(n);
@@ -186,6 +277,27 @@ where
             results.push(result);
         }
         BatchOutcome { results, report }
+    }
+}
+
+/// What a finished job says about the *primary* backend's health.
+///
+/// Fallback rescues count as primary failures (the primary exhausted its
+/// retries); short-circuited, validation-rejected, factory-failed and
+/// deadline-aborted jobs are neutral — they carry no verdict on the
+/// primary.
+fn job_signal(result: &Result<Measurements, BackendError>, report: &ExecutionReport) -> JobSignal {
+    if report.short_circuited_jobs > 0 {
+        return JobSignal::Neutral;
+    }
+    if report.fallback_jobs > 0 {
+        return JobSignal::Failure;
+    }
+    match result {
+        Ok(_) if report.attempts > 0 => JobSignal::Success,
+        Err(BackendError::DeadlineExceeded { .. }) => JobSignal::Neutral,
+        Err(_) if report.attempts > 0 => JobSignal::Failure,
+        _ => JobSignal::Neutral,
     }
 }
 
@@ -208,9 +320,10 @@ mod tests {
             .collect()
     }
 
-    fn faulty_factory(rate: f64) -> impl Fn(u64) -> Result<ResilientExecutor, BackendError> + Sync
-    {
-        move |seed| {
+    fn faulty_factory(
+        rate: f64,
+    ) -> impl Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + Sync {
+        move |_job, seed| {
             Ok(ResilientExecutor::new(
                 Box::new(FaultyBackend::new(
                     SimulatorBackend::new(seed),
@@ -259,7 +372,7 @@ mod tests {
 
     #[test]
     fn factory_errors_become_per_job_results() {
-        let factory = |seed: u64| -> Result<ResilientExecutor, BackendError> {
+        let factory = |_job: u64, seed: u64| -> Result<ResilientExecutor, BackendError> {
             if seed.is_multiple_of(2) {
                 Err(BackendError::InvalidConfig {
                     reason: "even seed rejected".into(),
@@ -278,6 +391,60 @@ mod tests {
         for r in out.results.iter().filter(|r| r.is_err()) {
             assert!(matches!(r, Err(BackendError::InvalidConfig { .. })));
         }
+    }
+
+    #[test]
+    fn health_path_without_breaker_or_deadline_matches_plain_execute() {
+        let ex = BatchExecutor::new(3, 0xbeef, faulty_factory(0.4));
+        let plain = ex.execute(&jobs(16));
+        let health = ex.execute_with_health(
+            &jobs(16),
+            &HealthPolicy::default(),
+            &HealthRegistry::new(),
+            "primary",
+        );
+        assert_eq!(plain.results, health.results);
+        assert_eq!(plain.report, health.report);
+    }
+
+    #[test]
+    fn breaker_short_circuits_feed_no_failure_signal() {
+        // Total outage with a fallback: the breaker trips after the first
+        // epoch and later jobs short-circuit to the fallback; their
+        // neutral signals must not keep re-tripping the (already open)
+        // breaker.
+        let factory = |_job: u64, seed: u64| -> Result<ResilientExecutor, BackendError> {
+            Ok(ResilientExecutor::with_fallback(
+                Box::new(FaultyBackend::new(
+                    SimulatorBackend::new(seed),
+                    FaultSpec::transient(1.0, seed),
+                )),
+                Box::new(SimulatorBackend::new(seed ^ 1)),
+                RetryPolicy {
+                    max_attempts: 3,
+                    ..RetryPolicy::default()
+                },
+            ))
+        };
+        let registry = HealthRegistry::new();
+        let policy = HealthPolicy::breaker_only();
+        let out = BatchExecutor::new(4, 7, factory).execute_with_health(
+            &jobs(32),
+            &policy,
+            &registry,
+            "primary",
+        );
+        assert_eq!(out.failed_jobs(), 0, "fallback serves every job");
+        let snap = registry.snapshot("primary").expect("breaker created");
+        assert!(snap.trips >= 1);
+        assert!(snap.short_circuited > 0);
+        assert_eq!(out.report.short_circuited_jobs as u64, snap.short_circuited);
+        // Short-circuited jobs pay zero primary attempts.
+        assert!(
+            out.report.attempts < 32 * 3,
+            "breaker must cut the attempt storm: {}",
+            out.report.attempts
+        );
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub trait Sleeper: Send {
     /// Sleeps for `ms` milliseconds (really or virtually) and accounts it.
     fn sleep(&mut self, ms: u64);
 
+    /// Attempts to sleep for `ms` milliseconds, returning `false` if the
+    /// sleeper refuses (e.g. a deadline budget is exhausted —
+    /// [`crate::health::DeadlineSleeper`]). A refused sleep accounts and
+    /// elapses nothing. Plain sleepers always accept.
+    fn try_sleep(&mut self, ms: u64) -> bool {
+        self.sleep(ms);
+        true
+    }
+
     /// Total milliseconds of backoff accounted so far.
     fn slept_ms(&self) -> u64;
 }
@@ -176,6 +185,16 @@ pub struct ExecutionReport {
     pub retries: usize,
     /// Jobs ultimately served by the fallback backend.
     pub fallback_jobs: usize,
+    /// Jobs the health layer short-circuited past the primary (circuit
+    /// breaker open): zero primary attempts, zero backoff.
+    pub short_circuited_jobs: usize,
+    /// Jobs failed immediately because the executor had already
+    /// terminally degraded with no working fallback — the backoff tax was
+    /// paid once, not per job.
+    pub fast_failed_jobs: usize,
+    /// Jobs abandoned because their deadline budget could not cover the
+    /// next retry backoff.
+    pub deadline_exceeded_jobs: usize,
     /// Whether the executor permanently degraded to the fallback.
     pub degraded: bool,
     /// Milliseconds of backoff accrued between retries. With a
@@ -196,6 +215,9 @@ impl ExecutionReport {
         self.attempts += other.attempts;
         self.retries += other.retries;
         self.fallback_jobs += other.fallback_jobs;
+        self.short_circuited_jobs += other.short_circuited_jobs;
+        self.fast_failed_jobs += other.fast_failed_jobs;
+        self.deadline_exceeded_jobs += other.deadline_exceeded_jobs;
         self.degraded |= other.degraded;
         self.total_backoff_ms += other.total_backoff_ms;
         self.shot_shortfall += other.shot_shortfall;
@@ -207,14 +229,22 @@ impl fmt::Display for ExecutionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs, {} attempts ({} retries, {} ms backoff), {} fallback jobs{}",
-            self.jobs,
-            self.attempts,
-            self.retries,
-            self.total_backoff_ms,
-            self.fallback_jobs,
-            if self.degraded { ", DEGRADED" } else { "" }
-        )
+            "{} jobs, {} attempts ({} retries, {} ms backoff), {} fallback jobs",
+            self.jobs, self.attempts, self.retries, self.total_backoff_ms, self.fallback_jobs,
+        )?;
+        if self.short_circuited_jobs > 0 {
+            write!(f, ", {} short-circuited", self.short_circuited_jobs)?;
+        }
+        if self.fast_failed_jobs > 0 {
+            write!(f, ", {} fast-failed", self.fast_failed_jobs)?;
+        }
+        if self.deadline_exceeded_jobs > 0 {
+            write!(f, ", {} past deadline", self.deadline_exceeded_jobs)?;
+        }
+        if self.degraded {
+            write!(f, ", DEGRADED")?;
+        }
+        Ok(())
     }
 }
 
@@ -225,7 +255,15 @@ pub struct ResilientExecutor {
     policy: RetryPolicy,
     sleeper: Box<dyn Sleeper>,
     consecutive_failures: usize,
+    fallback_consecutive_failures: usize,
     job_index: u64,
+    /// Health-layer flag: skip the primary entirely (breaker open) and
+    /// serve from the fallback.
+    short_circuited: bool,
+    /// Once set, every further job fails immediately with a clone of this
+    /// error — the executor is terminally degraded with nothing left to
+    /// serve from, so re-paying retries and backoff per job is pure waste.
+    terminal_error: Option<BackendError>,
     report: ExecutionReport,
 }
 
@@ -252,7 +290,10 @@ impl ResilientExecutor {
             policy,
             sleeper: Box::new(VirtualSleeper::default()),
             consecutive_failures: 0,
+            fallback_consecutive_failures: 0,
             job_index: 0,
+            short_circuited: false,
+            terminal_error: None,
             report: ExecutionReport::default(),
         }
     }
@@ -276,6 +317,30 @@ impl ResilientExecutor {
     pub fn with_sleeper(mut self, sleeper: Box<dyn Sleeper>) -> Self {
         self.sleeper = sleeper;
         self
+    }
+
+    /// Caps this executor's total backoff by `budget` (builder style):
+    /// the current sleeper is wrapped in a
+    /// [`crate::health::DeadlineSleeper`], so a backoff interval the
+    /// budget cannot cover makes the job fail with
+    /// [`BackendError::DeadlineExceeded`] instead of sleeping past the
+    /// deadline. Budgets can be shared across executors (batch-wide
+    /// deadline) or fresh per executor (per-job deadline).
+    pub fn with_deadline(mut self, budget: crate::health::DeadlineBudget) -> Self {
+        let inner = std::mem::replace(
+            &mut self.sleeper,
+            Box::new(VirtualSleeper::default()),
+        );
+        self.sleeper = Box::new(crate::health::DeadlineSleeper::new(inner, budget));
+        self
+    }
+
+    /// Health-layer switch: stop submitting to the primary (its circuit
+    /// breaker is open) and serve every job from the fallback. Unlike
+    /// degradation this is externally imposed and carries no judgement
+    /// about the primary — the breaker owns recovery.
+    pub fn short_circuit_primary(&mut self) {
+        self.short_circuited = true;
     }
 
     /// Total milliseconds of backoff the sleeper has accounted — equals
@@ -315,7 +380,23 @@ impl ResilientExecutor {
     ) -> Option<Result<Measurements, BackendError>> {
         let fb = self.fallback.as_mut()?;
         self.report.fallback_jobs += 1;
-        Some(fb.execute(circuit, shots))
+        let res = fb.execute(circuit, shots);
+        // A fallback that keeps failing after the primary is gone leaves
+        // nothing to serve from: remember the error and stop paying the
+        // per-job retry/backoff tax.
+        match &res {
+            Ok(_) => self.fallback_consecutive_failures = 0,
+            Err(e) => {
+                self.fallback_consecutive_failures += 1;
+                if self.report.degraded
+                    && self.fallback_consecutive_failures
+                        >= self.policy.max_consecutive_failures.max(1)
+                {
+                    self.terminal_error = Some(e.clone());
+                }
+            }
+        }
+        Some(res)
     }
 
     /// Submits one job: validate, retry the primary with backoff, then
@@ -323,9 +404,14 @@ impl ResilientExecutor {
     ///
     /// # Errors
     ///
-    /// Returns the validation error, or the last [`BackendError`] once the
-    /// retry budget is exhausted and no fallback is available (or the
-    /// fallback itself fails).
+    /// Returns the validation error; [`BackendError::DeadlineExceeded`]
+    /// when a deadline budget (see [`ResilientExecutor::with_deadline`])
+    /// cannot cover the next backoff and no fallback can serve the job
+    /// instead; [`BackendError::CircuitOpen`] when
+    /// the health layer short-circuited the primary and there is no
+    /// fallback; or the last [`BackendError`] once the retry budget is
+    /// exhausted and no fallback is available (or the fallback itself
+    /// fails).
     pub fn execute(
         &mut self,
         circuit: &Circuit,
@@ -337,6 +423,19 @@ impl ResilientExecutor {
         // Validation failures are deterministic — retries and fallbacks
         // (same register/coupling) would fail identically.
         self.primary.validate(circuit)?;
+        if let Some(err) = &self.terminal_error {
+            self.report.fast_failed_jobs += 1;
+            return Err(err.clone());
+        }
+        if self.short_circuited {
+            self.report.short_circuited_jobs += 1;
+            return match self.run_fallback(circuit, shots) {
+                Some(res) => res,
+                None => Err(BackendError::CircuitOpen {
+                    backend: self.primary.name().to_string(),
+                }),
+            };
+        }
         if self.report.degraded {
             if let Some(res) = self.run_fallback(circuit, shots) {
                 return res;
@@ -368,20 +467,43 @@ impl ResilientExecutor {
                         break;
                     }
                     if attempt + 1 < max_attempts {
-                        self.report.retries += 1;
                         let backoff = self.policy.backoff_ms(job, attempt as u32);
+                        if !self.sleeper.try_sleep(backoff) {
+                            // Deadline budget cannot cover this backoff:
+                            // the primary's retry schedule is out of time.
+                            // The fallback costs no backoff, so it may
+                            // still serve the job — but the abort carries
+                            // no degradation judgement about the primary.
+                            let err = BackendError::DeadlineExceeded {
+                                job,
+                                needed_ms: backoff,
+                            };
+                            self.report.failures.push(FailureRecord {
+                                job,
+                                attempt: attempt + 1,
+                                error: err.clone(),
+                            });
+                            self.report.deadline_exceeded_jobs += 1;
+                            return match self.run_fallback(circuit, shots) {
+                                Some(res) => res,
+                                None => Err(err),
+                            };
+                        }
+                        self.report.retries += 1;
                         self.report.total_backoff_ms += backoff;
-                        self.sleeper.sleep(backoff);
                     }
                     last_err = Some(e);
                 }
             }
         }
         self.consecutive_failures += 1;
-        if self.fallback.is_some()
-            && self.consecutive_failures >= self.policy.max_consecutive_failures.max(1)
-        {
+        if self.consecutive_failures >= self.policy.max_consecutive_failures.max(1) {
             self.report.degraded = true;
+            if self.fallback.is_none() {
+                // Nothing left to serve from: future jobs fast-fail with
+                // this error instead of re-paying retries and backoff.
+                self.terminal_error = last_err.clone();
+            }
         }
         match self.run_fallback(circuit, shots) {
             Some(res) => res,
@@ -601,6 +723,158 @@ mod tests {
         assert_eq!(ex.report().attempts, 3);
         assert_eq!(ex.report().failures.len(), 3);
         assert!(!ex.report().degraded, "no fallback → no degradation");
+    }
+
+    #[test]
+    fn fallback_free_outage_fast_fails_after_terminal_degradation() {
+        // Regression: a permanently-failed executor with no fallback used
+        // to re-pay the full retry/backoff tax on every subsequent job.
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::new(
+            Box::new(broken),
+            RetryPolicy {
+                max_attempts: 2,
+                max_consecutive_failures: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        for _ in 0..2 {
+            assert!(ex.execute(&bell(), None).is_err());
+        }
+        let paid = (ex.report().attempts, ex.report().total_backoff_ms);
+        assert_eq!(paid.0, 4, "2 jobs × 2 attempts before terminal degradation");
+        assert!(ex.is_degraded());
+        for _ in 0..10 {
+            let err = ex.execute(&bell(), None).unwrap_err();
+            assert!(err.is_retryable(), "terminal error is the last real one: {err}");
+        }
+        let r = ex.report();
+        assert_eq!(r.fast_failed_jobs, 10);
+        assert_eq!(
+            (r.attempts, r.total_backoff_ms),
+            paid,
+            "fast-failed jobs pay no attempts and no backoff"
+        );
+    }
+
+    #[test]
+    fn dead_fallback_becomes_terminal_too() {
+        // Primary and fallback both permanently down: after degradation
+        // plus max_consecutive_failures failed fallback jobs, the
+        // executor stops driving either backend.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            max_consecutive_failures: 2,
+            ..RetryPolicy::default()
+        };
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(FaultyBackend::new(
+                SimulatorBackend::new(0),
+                FaultSpec::transient(1.0, 0),
+            )),
+            Box::new(FaultyBackend::new(
+                SimulatorBackend::new(1),
+                FaultSpec::transient(1.0, 1),
+            )),
+            policy,
+        );
+        for _ in 0..8 {
+            assert!(ex.execute(&bell(), None).is_err());
+        }
+        let r = ex.report();
+        assert!(r.degraded);
+        assert!(r.fast_failed_jobs > 0, "dead fallback must go terminal");
+        // Attempts stop growing once terminal.
+        let attempts = r.attempts;
+        let fallbacks = r.fallback_jobs;
+        assert!(ex.execute(&bell(), None).is_err());
+        assert_eq!(ex.report().attempts, attempts);
+        assert_eq!(ex.report().fallback_jobs, fallbacks);
+    }
+
+    #[test]
+    fn short_circuit_serves_from_fallback_without_primary_attempts() {
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(FaultyBackend::new(
+                SimulatorBackend::new(0),
+                FaultSpec::transient(1.0, 0),
+            )),
+            Box::new(SimulatorBackend::new(1)),
+            RetryPolicy::default(),
+        );
+        ex.short_circuit_primary();
+        let m = ex.execute(&bell(), None).unwrap();
+        assert_eq!(m.expectations.len(), 2);
+        let r = ex.report();
+        assert_eq!((r.attempts, r.retries, r.total_backoff_ms), (0, 0, 0));
+        assert_eq!((r.short_circuited_jobs, r.fallback_jobs), (1, 1));
+        assert!(!r.degraded, "short-circuiting is not a degradation verdict");
+    }
+
+    #[test]
+    fn short_circuit_without_fallback_is_circuit_open() {
+        let mut ex =
+            ResilientExecutor::new(Box::new(SimulatorBackend::new(0)), RetryPolicy::default());
+        ex.short_circuit_primary();
+        let err = ex.execute(&bell(), None).unwrap_err();
+        assert!(matches!(err, BackendError::CircuitOpen { .. }), "{err}");
+        assert!(!err.is_retryable());
+        assert_eq!(ex.report().attempts, 0);
+    }
+
+    #[test]
+    fn deadline_budget_aborts_backoff_with_deadline_exceeded() {
+        use crate::health::DeadlineBudget;
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::new(
+            Box::new(broken),
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_ms: 1_000,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            },
+        )
+        .with_deadline(DeadlineBudget::new(1_500));
+        let err = ex.execute(&bell(), None).unwrap_err();
+        assert!(matches!(err, BackendError::DeadlineExceeded { .. }), "{err}");
+        let r = ex.report();
+        // First backoff (1000 ms) fits the 1500 ms budget; the second
+        // (2000 ms) does not, so the job stops after two attempts.
+        assert_eq!((r.attempts, r.retries), (2, 1));
+        assert_eq!(r.total_backoff_ms, 1_000);
+        assert_eq!(r.deadline_exceeded_jobs, 1);
+        assert!(
+            r.total_backoff_ms <= 1_500,
+            "accounted backoff stays within budget"
+        );
+        assert!(!r.degraded, "a deadline abort says nothing about backend health");
+    }
+
+    #[test]
+    fn deadline_abort_is_rescued_by_the_fallback() {
+        use crate::health::DeadlineBudget;
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(broken),
+            Box::new(SimulatorBackend::new(1)),
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_ms: 1_000,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            },
+        )
+        .with_deadline(DeadlineBudget::new(1_500));
+        // The second backoff (2000 ms) blows the budget, but the fallback
+        // costs no backoff — the job is still served.
+        let m = ex.execute(&bell(), None).expect("fallback rescues");
+        assert_eq!(m.expectations.len(), 2);
+        let r = ex.report();
+        assert_eq!(r.deadline_exceeded_jobs, 1);
+        assert_eq!(r.fallback_jobs, 1);
+        assert!(r.total_backoff_ms <= 1_500);
+        assert!(!r.degraded, "a deadline abort says nothing about backend health");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use crate::batch::{BatchExecutor, BatchJob};
 use crate::executor::{splitmix64, ExecutionReport, ResilientExecutor, RetryPolicy};
 use crate::forward::QuantizeSpec;
+use crate::health::{HealthPolicy, HealthRegistry};
 use crate::head::apply_head;
 use crate::model::{NoiseSource, Qnn};
 use crate::normalize::{try_normalize_batch, NormError, NormStats};
@@ -311,6 +312,13 @@ pub struct BatchedQnn<'a> {
     faults: Option<FaultSpec>,
     workers: usize,
     seed: u64,
+    /// Opt-in fleet health: circuit breaking and/or deadline budgets
+    /// ([`BatchedQnn::with_health`]).
+    health: Option<HealthPolicy>,
+    /// Shared breaker table. Defaults to a private registry per
+    /// deployment (deterministic); [`BatchedQnn::with_health_registry`]
+    /// swaps in a shared one to pool health signal across deployments.
+    registry: std::sync::Arc<HealthRegistry>,
     // `infer` holds the deployment by shared reference while batch runs
     // accumulate into the report — hence interior mutability. A deployment
     // is driven from one thread; the pool lives inside `eval_block_batch`.
@@ -340,15 +348,20 @@ impl BatchedQnn<'_> {
         let view = &dep.view;
         let policy = &self.policy;
         let faults = self.faults;
-        let factory = move |job_seed: u64| -> Result<ResilientExecutor, BackendError> {
+        let factory = move |job: u64, job_seed: u64| -> Result<ResilientExecutor, BackendError> {
             let emulator = EmulatorBackend::new(view, job_seed)?;
             let primary: Box<dyn QuantumBackend> = match faults {
-                Some(spec) => Box::new(FaultyBackend::new(
+                // Fault *rolls* are decorrelated per job (seed ^
+                // job_seed); calibration *drift* is positioned at the
+                // batch-global job index, so all per-job backends sample
+                // one fleet-wide drift trajectory.
+                Some(spec) => Box::new(FaultyBackend::starting_at(
                     emulator,
                     FaultSpec {
                         seed: spec.seed ^ job_seed,
                         ..spec
                     },
+                    job,
                 )),
                 None => Box::new(emulator),
             };
@@ -363,7 +376,13 @@ impl BatchedQnn<'_> {
             ))
         };
         let pool_seed = splitmix64(self.seed ^ (block_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let outcome = BatchExecutor::new(self.workers, pool_seed, factory).execute(&jobs);
+        let pool = BatchExecutor::new(self.workers, pool_seed, factory);
+        let outcome = match &self.health {
+            Some(health) => {
+                pool.execute_with_health(&jobs, health, &self.registry, &self.breaker_key(block_idx))
+            }
+            None => pool.execute(&jobs),
+        };
         self.report.borrow_mut().merge(&outcome.report);
         let measurements = outcome.into_measurements()?;
         Ok(measurements
@@ -381,6 +400,35 @@ impl BatchedQnn<'_> {
     /// The configured worker-pool size.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Enables the fleet health layer (builder style): circuit breaking
+    /// and/or deadline budgets per [`HealthPolicy`]. Breakers live in this
+    /// deployment's registry, keyed per block
+    /// ([`BatchedQnn::breaker_key`]).
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Swaps in a shared breaker registry (builder style) so several
+    /// deployments pool their health signal. Note the determinism caveat
+    /// in [`crate::health`]: trips driven by another deployment's traffic
+    /// arrive at nondeterministic points.
+    pub fn with_health_registry(mut self, registry: std::sync::Arc<HealthRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The registry holding this deployment's circuit breakers.
+    pub fn health_registry(&self) -> &std::sync::Arc<HealthRegistry> {
+        &self.registry
+    }
+
+    /// Registry key of `block_idx`'s primary-backend breaker: the routed
+    /// device window is the unit that fails (and recovers) as one.
+    pub fn breaker_key(&self, block_idx: usize) -> String {
+        format!("emulator({})/block{}", self.blocks[block_idx].view.name(), block_idx)
     }
 }
 
@@ -515,6 +563,8 @@ impl Qnn {
             faults,
             workers: workers.max(1),
             seed,
+            health: None,
+            registry: std::sync::Arc::new(HealthRegistry::new()),
             report: RefCell::new(ExecutionReport::default()),
         })
     }

@@ -19,8 +19,10 @@
 //! noise-free, Pauli-model and hardware-emulator inference pipelines;
 //! [`executor`] resilient execution (retry/backoff and graceful
 //! degradation to the noise-model simulator); [`batch`] worker-pool
-//! parallel job submission over per-job resilient executors; [`mitigate`]
-//! zero-noise extrapolation (Table 4).
+//! parallel job submission over per-job resilient executors; [`health`]
+//! fleet-wide circuit breaking, half-open recovery probes and deadline
+//! budgets over the batch pool; [`mitigate`] zero-noise extrapolation
+//! (Table 4).
 //!
 //! ## Example
 //!
@@ -46,6 +48,7 @@ pub mod encoder;
 pub mod executor;
 pub mod forward;
 pub mod head;
+pub mod health;
 pub mod infer;
 pub mod metrics;
 pub mod mitigate;
@@ -60,6 +63,10 @@ pub use executor::{
     ExecutionReport, ResilientExecutor, RetryPolicy, Sleeper, ThreadSleeper, VirtualSleeper,
 };
 pub use forward::{PipelineOptions, QuantizeSpec};
+pub use health::{
+    Admission, BreakerPolicy, BreakerSnapshot, BreakerState, CircuitBreaker, DeadlineBudget,
+    DeadlinePolicy, DeadlineSleeper, HealthPolicy, HealthRegistry, JobSignal,
+};
 pub use infer::{infer, InferError, InferenceBackend, InferenceOptions, NormMode};
 pub use model::{NoiseSource, Qnn, QnnConfig};
 pub use train::{train, AdamConfig, TrainOptions};

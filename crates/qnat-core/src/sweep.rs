@@ -10,7 +10,10 @@
 //! Candidates are independent, so the grid fans out across
 //! [`SweepConfig::workers`] threads. Every candidate trains from the same
 //! fixed seed and records land in grid order with ties broken toward the
-//! earlier grid point, so the outcome is identical for any worker count.
+//! earlier grid point, so the outcome is identical for any worker count —
+//! the same worker-invariance contract the batch layer keeps even with
+//! the fleet health layer enabled (see the epoch-driven breaker design in
+//! [`crate::health`]).
 
 use crate::forward::{PipelineOptions, QuantizeSpec};
 use crate::model::{NoiseSource, Qnn, QnnConfig};

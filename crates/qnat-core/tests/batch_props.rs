@@ -31,7 +31,7 @@ fn run(
     n: usize,
     shots: Option<usize>,
 ) -> BatchOutcome {
-    let factory = move |seed: u64| -> Result<ResilientExecutor, BackendError> {
+    let factory = move |_job: u64, seed: u64| -> Result<ResilientExecutor, BackendError> {
         Ok(ResilientExecutor::with_fallback(
             Box::new(FaultyBackend::new(
                 SimulatorBackend::new(seed),
@@ -82,7 +82,7 @@ proptest! {
         // A job's executor seed depends only on (batch seed, job index) —
         // the pool derives it with SplitMix64, never from worker identity
         // or queue order.
-        let pool = BatchExecutor::new(3, batch_seed, |seed| {
+        let pool = BatchExecutor::new(3, batch_seed, |_job, seed| {
             Ok(ResilientExecutor::new(
                 Box::new(SimulatorBackend::new(seed)),
                 RetryPolicy::default(),

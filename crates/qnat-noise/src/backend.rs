@@ -96,6 +96,21 @@ pub enum BackendError {
         /// Simulated time spent waiting, in milliseconds.
         waited_ms: u64,
     },
+    /// The job's deadline budget ran out before the next retry backoff
+    /// could be paid — the executor gave up within its wall-clock cap
+    /// instead of blowing past it. Not retryable: the budget is gone.
+    DeadlineExceeded {
+        /// Job index on the executor when the budget ran out.
+        job: u64,
+        /// The backoff interval (ms) the budget could no longer cover.
+        needed_ms: u64,
+    },
+    /// The fleet health layer short-circuited the job because the
+    /// primary's circuit breaker is open and no fallback could serve it.
+    CircuitOpen {
+        /// Name of the backend whose breaker is open.
+        backend: String,
+    },
 }
 
 impl BackendError {
@@ -107,6 +122,26 @@ impl BackendError {
             self,
             BackendError::TransientFailure { .. } | BackendError::QueueTimeout { .. }
         )
+    }
+
+    /// Rebinds the job index carried by job-scoped variants; other
+    /// variants pass through unchanged. The batch layer uses this to remap
+    /// executor-local indices (always 0 — one executor per job) to
+    /// batch-global ones, keeping surfaced errors attributable.
+    #[must_use]
+    pub fn with_job(self, job: u64) -> Self {
+        match self {
+            BackendError::TransientFailure { reason, .. } => {
+                BackendError::TransientFailure { job, reason }
+            }
+            BackendError::QueueTimeout { waited_ms, .. } => {
+                BackendError::QueueTimeout { job, waited_ms }
+            }
+            BackendError::DeadlineExceeded { needed_ms, .. } => {
+                BackendError::DeadlineExceeded { job, needed_ms }
+            }
+            other => other,
+        }
     }
 }
 
@@ -143,6 +178,15 @@ impl fmt::Display for BackendError {
             }
             BackendError::QueueTimeout { job, waited_ms } => {
                 write!(f, "job {job} timed out after {waited_ms} ms in queue")
+            }
+            BackendError::DeadlineExceeded { job, needed_ms } => {
+                write!(
+                    f,
+                    "job {job} deadline exceeded: {needed_ms} ms backoff over budget"
+                )
+            }
+            BackendError::CircuitOpen { backend } => {
+                write!(f, "circuit breaker open for backend {backend}")
             }
         }
     }

@@ -3,16 +3,51 @@
 //! [`FaultyBackend`] decorates any [`QuantumBackend`] with the failure
 //! modes real cloud QPUs exhibit: transient job rejections, queue
 //! timeouts, shot-budget truncation, and calibration drift (readout and
-//! gate error rates creeping up with every job since the last
-//! calibration). Faults are *seed-deterministic per job index*: whether
+//! gate error rates wandering away from the calibration point as jobs
+//! accumulate). Faults are *seed-deterministic per job index*: whether
 //! job `k` fails depends only on `(spec.seed, k)`, never on how many
 //! retries earlier jobs needed, so fault sweeps and regression tests are
 //! exactly reproducible.
+//!
+//! Drift follows one of three [`DriftModel`]s — the linear creep of the
+//! original fault layer, a seed-deterministic random walk around the
+//! calibration point, or sessionized drift that snaps back at every
+//! recalibration — all clamped into physical `[0, 1]` error rates by the
+//! device model downstream.
 
 use crate::backend::{BackendError, Measurements, QuantumBackend};
 use qnat_sim::circuit::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// How the calibration-drift scales evolve with the job index.
+///
+/// All three models are pure functions of `(spec.seed, job)` — a backend
+/// replaying the same job range sees bitwise the same drift trajectory —
+/// and all produce non-negative scales that the device model clamps into
+/// valid `[0, 1]` error probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftModel {
+    /// Monotone creep: job `k` runs at scale `1 + k·rate` (the original
+    /// model — error grows without bound until the clamp saturates).
+    Linear,
+    /// Random walk around the calibration point: job `k` runs at scale
+    /// `1 + rate·W_k` where `W_k` sums `k` seed-deterministic steps drawn
+    /// uniformly from `[−1, 1]`. Models parameter wander between
+    /// calibrations more faithfully than monotone creep: error can
+    /// improve as well as degrade, and the excursion grows like `√k`.
+    RandomWalk,
+    /// Sessionized drift: error creeps linearly *within* a calibration
+    /// session of `interval` jobs, then snaps back at the recalibration
+    /// boundary. Each session also carries a seed-deterministic baseline
+    /// offset (a calibration is only as good as its fit), so consecutive
+    /// sessions start from slightly different error floors — the pattern
+    /// IBMQ devices show across daily calibration cycles.
+    StepRecalibration {
+        /// Jobs per calibration session (clamped to ≥ 1).
+        interval: u64,
+    },
+}
 
 /// Configurable fault rates and drift slopes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,16 +60,26 @@ pub struct FaultSpec {
     pub shot_truncation_rate: f64,
     /// Fraction of the requested shots delivered when truncated.
     pub shot_truncation_factor: f64,
-    /// Readout error scale grows by this per job index (calibration
-    /// drift): job `k` runs at scale `1 + k·rate`. Drifted error
+    /// Readout drift rate: how fast the readout error scale moves per job
+    /// index, interpreted by [`FaultSpec::drift`] (slope for
+    /// [`DriftModel::Linear`] and [`DriftModel::StepRecalibration`], step
+    /// amplitude for [`DriftModel::RandomWalk`]). Drifted error
     /// probabilities are clamped into `[0, 1]` by the device model, so
     /// arbitrarily long runs saturate instead of producing invalid
     /// channels.
     pub readout_drift_per_job: f64,
-    /// Gate error scale grows by this per job index (same clamping).
+    /// Gate drift rate (same interpretation and clamping).
     pub gate_drift_per_job: f64,
+    /// Trajectory the drift scales follow over the job index.
+    pub drift: DriftModel,
     /// Seed of the per-job fault schedule.
     pub seed: u64,
+    /// Seed of the drift trajectory, separate from the fault-roll `seed`:
+    /// a batch pool decorrelates fault rolls by perturbing `seed` per job
+    /// while leaving `drift_seed` alone, so every per-job backend samples
+    /// the *same* fleet-wide calibration trajectory (positioned via
+    /// [`FaultyBackend::starting_at`]). Constructors default it to `seed`.
+    pub drift_seed: u64,
 }
 
 impl FaultSpec {
@@ -47,7 +92,9 @@ impl FaultSpec {
             shot_truncation_factor: 0.25,
             readout_drift_per_job: 0.0,
             gate_drift_per_job: 0.0,
+            drift: DriftModel::Linear,
             seed: 0,
+            drift_seed: 0,
         }
     }
 
@@ -56,6 +103,7 @@ impl FaultSpec {
         FaultSpec {
             transient_failure_rate: rate,
             seed,
+            drift_seed: seed,
             ..FaultSpec::none()
         }
     }
@@ -75,12 +123,36 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A 53-bit uniform draw in `[0, 1)` from `(seed, salt, index)` — the
+/// deterministic source behind drift trajectories.
+fn unit_draw(seed: u64, salt: u64, index: u64) -> f64 {
+    let h = splitmix64(seed ^ salt ^ splitmix64(index));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const WALK_GATE_SALT: u64 = 0xd21f_7a7e_ca11_b0a7;
+const WALK_READOUT_SALT: u64 = 0x5ead_0077_0dd5_ee1d;
+const SESSION_GATE_SALT: u64 = 0xca1b_0b5e_5510_0a7e;
+const SESSION_READOUT_SALT: u64 = 0xf1ee_7b0a_7d15_ea5e;
+
+/// One random-walk step in `[−1, 1]` for drift index `job`.
+fn walk_step(seed: u64, salt: u64, job: u64) -> f64 {
+    2.0 * unit_draw(seed, salt, job) - 1.0
+}
+
 /// A backend decorator injecting seed-deterministic faults.
 #[derive(Debug, Clone)]
 pub struct FaultyBackend<B> {
     inner: B,
     spec: FaultSpec,
     job_index: u64,
+    /// Batch-global index of this backend's first job — lets per-job
+    /// backends built by a pool continue one fleet-wide drift trajectory.
+    drift_offset: u64,
+    /// Random-walk position Σ steps for drift indices `< drift_offset +
+    /// job_index` (only meaningful under [`DriftModel::RandomWalk`]).
+    walk_gate: f64,
+    walk_readout: f64,
 }
 
 impl<B: QuantumBackend> FaultyBackend<B> {
@@ -90,6 +162,66 @@ impl<B: QuantumBackend> FaultyBackend<B> {
             inner,
             spec,
             job_index: 0,
+            drift_offset: 0,
+            walk_gate: 0.0,
+            walk_readout: 0.0,
+        }
+    }
+
+    /// Like [`FaultyBackend::new`], but with the drift trajectory
+    /// fast-forwarded to position `first_job`: the backend's first job
+    /// runs at the drift scale job `first_job` of a fresh backend would
+    /// see. Fault *rolls* still follow the local job index — this only
+    /// positions drift, so a batch pool can give every per-job backend
+    /// its slice of one fleet-wide calibration trajectory.
+    pub fn starting_at(inner: B, spec: FaultSpec, first_job: u64) -> Self {
+        let mut b = FaultyBackend::new(inner, spec);
+        b.drift_offset = first_job;
+        if spec.has_drift() && matches!(spec.drift, DriftModel::RandomWalk) {
+            for i in 0..first_job {
+                b.advance_walk(i);
+            }
+        }
+        b
+    }
+
+    /// Accumulates the random-walk step of drift index `drift_job` into
+    /// the walk position.
+    fn advance_walk(&mut self, drift_job: u64) {
+        self.walk_gate += walk_step(self.spec.drift_seed, WALK_GATE_SALT, drift_job);
+        self.walk_readout += walk_step(self.spec.drift_seed, WALK_READOUT_SALT, drift_job);
+    }
+
+    /// `(gate, readout)` drift scales for drift index `drift_job` —
+    /// non-negative, pure in `(spec, drift_job)` (the walk state holds
+    /// exactly Σ steps below `drift_job` when called in sequence).
+    fn drift_scales(&self, drift_job: u64) -> (f64, f64) {
+        let gr = self.spec.gate_drift_per_job;
+        let rr = self.spec.readout_drift_per_job;
+        match self.spec.drift {
+            DriftModel::Linear => {
+                let k = drift_job as f64;
+                ((1.0 + k * gr).max(0.0), (1.0 + k * rr).max(0.0))
+            }
+            DriftModel::RandomWalk => (
+                (1.0 + gr * self.walk_gate).max(0.0),
+                (1.0 + rr * self.walk_readout).max(0.0),
+            ),
+            DriftModel::StepRecalibration { interval } => {
+                let interval = interval.max(1);
+                let session = drift_job / interval;
+                let phase = (drift_job % interval) as f64;
+                // Per-session baseline miscalibration: up to half a
+                // session of pre-paid drift, redrawn at each
+                // recalibration.
+                let half = interval as f64 * 0.5;
+                let base_g = unit_draw(self.spec.drift_seed, SESSION_GATE_SALT, session) * half;
+                let base_r = unit_draw(self.spec.drift_seed, SESSION_READOUT_SALT, session) * half;
+                (
+                    (1.0 + gr * (phase + base_g)).max(0.0),
+                    (1.0 + rr * (phase + base_r)).max(0.0),
+                )
+            }
         }
     }
 
@@ -138,11 +270,12 @@ impl<B: QuantumBackend> QuantumBackend for FaultyBackend<B> {
         self.job_index += 1;
         let mut rng = self.fault_rng(job);
         if self.spec.has_drift() {
-            let k = job as f64;
-            self.inner.apply_drift(
-                (1.0 + k * self.spec.gate_drift_per_job).max(0.0),
-                (1.0 + k * self.spec.readout_drift_per_job).max(0.0),
-            );
+            let drift_job = self.drift_offset + job;
+            let (gate_scale, readout_scale) = self.drift_scales(drift_job);
+            self.inner.apply_drift(gate_scale, readout_scale);
+            if matches!(self.spec.drift, DriftModel::RandomWalk) {
+                self.advance_walk(drift_job);
+            }
         }
         // Fault rolls happen in a fixed order so the schedule is stable
         // under spec-rate changes of later faults.
@@ -293,6 +426,113 @@ mod tests {
             let e = drifted.single_qubit_error(q);
             assert!(e.validate().is_ok(), "qubit {q}: {e:?}");
             assert!(e.total() <= 1.0, "qubit {q} total {}", e.total());
+        }
+    }
+
+    fn drift_spec(drift: DriftModel, rate: f64, seed: u64) -> FaultSpec {
+        FaultSpec {
+            gate_drift_per_job: rate,
+            readout_drift_per_job: rate,
+            drift,
+            seed,
+            drift_seed: seed,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// The `(gate, readout)` drift-scale trajectory a fresh backend walks
+    /// through over `jobs` executions.
+    fn drift_trajectory(spec: FaultSpec, jobs: u64) -> Vec<(f64, f64)> {
+        let mut b = FaultyBackend::new(SimulatorBackend::new(1), spec);
+        (0..jobs)
+            .map(|j| {
+                let scales = b.drift_scales(j);
+                if matches!(spec.drift, DriftModel::RandomWalk) {
+                    b.advance_walk(j);
+                }
+                scales
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_walk_is_seed_deterministic_varied_and_non_negative() {
+        let spec = drift_spec(DriftModel::RandomWalk, 0.4, 17);
+        let a = drift_trajectory(spec, 200);
+        let b = drift_trajectory(spec, 200);
+        assert_eq!(a, b, "same seed → bitwise same walk");
+        let other = drift_trajectory(drift_spec(DriftModel::RandomWalk, 0.4, 18), 200);
+        assert_ne!(a, other, "different seed → different walk");
+        assert!(a.iter().all(|&(g, r)| g >= 0.0 && r >= 0.0));
+        // A real walk moves both ways: some scales above 1, some below.
+        assert!(a.iter().any(|&(g, _)| g > 1.0) && a.iter().any(|&(g, _)| g < 1.0), "{a:?}");
+    }
+
+    #[test]
+    fn step_recalibration_snaps_back_at_session_boundaries() {
+        let spec = drift_spec(DriftModel::StepRecalibration { interval: 20 }, 0.1, 3);
+        let t = drift_trajectory(spec, 60);
+        for session in 0..3u64 {
+            let start = (session * 20) as usize;
+            // Within a session drift creeps up monotonically...
+            for k in start..start + 19 {
+                assert!(t[k + 1].0 > t[k].0, "job {k}: {:?} !< {:?}", t[k], t[k + 1]);
+            }
+        }
+        // ...and every recalibration drops the error back near its floor:
+        // the session-start scale is below the previous session's peak by
+        // more than the baseline spread (half an interval of drift).
+        for session in 1..3u64 {
+            let boundary = (session * 20) as usize;
+            assert!(
+                t[boundary].0 < t[boundary - 1].0 - 0.1 * 9.0,
+                "session {session} did not recalibrate: {:?} vs {:?}",
+                t[boundary],
+                t[boundary - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn starting_at_continues_the_fleet_trajectory_bitwise() {
+        for drift in [
+            DriftModel::Linear,
+            DriftModel::RandomWalk,
+            DriftModel::StepRecalibration { interval: 7 },
+        ] {
+            let spec = drift_spec(drift, 0.25, 9);
+            let full = drift_trajectory(spec, 50);
+            // A backend fast-forwarded to job 30 must see bitwise the same
+            // scales as jobs 30.. of the fresh backend.
+            let mut resumed = FaultyBackend::starting_at(SimulatorBackend::new(1), spec, 30);
+            for (k, expected) in full.iter().enumerate().skip(30) {
+                let scales = resumed.drift_scales(k as u64);
+                assert_eq!(scales, *expected, "{drift:?} job {k}");
+                if matches!(drift, DriftModel::RandomWalk) {
+                    resumed.advance_walk(k as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_drift_keeps_emulator_physical() {
+        use crate::backend::EmulatorBackend;
+        use crate::presets;
+        let model = presets::yorktown().subdevice(&[0, 1]).unwrap();
+        let mut b = FaultyBackend::new(
+            EmulatorBackend::new(&model, 3).unwrap(),
+            drift_spec(DriftModel::RandomWalk, 1.5, 11),
+        );
+        for job in 0..200 {
+            let m = b.execute(&bell(), None).unwrap_or_else(|e| {
+                panic!("job {job} failed under walk drift: {e}")
+            });
+            assert!(
+                m.expectations.iter().all(|z| z.is_finite() && z.abs() <= 1.0 + 1e-9),
+                "job {job}: {:?}",
+                m.expectations
+            );
         }
     }
 

@@ -1,18 +1,31 @@
 #!/usr/bin/env sh
 # Full CI gate, in the order a reviewer wants failures surfaced:
-#   1. tier-1: release build + the whole workspace test suite
-#   2. lint:   clippy -D warnings (scripts/lint.sh)
-#   3. perf:   the batch-throughput acceptance bench, which asserts the
+#   1. smoke:  fast deterministic breaker-trip smoke test (seconds; fails
+#              first if the health state machine regresses)
+#   2. tier-1: release build + the whole workspace test suite
+#   3. health: the fleet-health suites — breaker unit tests, the
+#              breaker-on-vs-off / deadline-budget e2e acceptance tests,
+#              and the report-merge property tests
+#   4. lint:   clippy -D warnings (scripts/lint.sh)
+#   5. perf:   the batch-throughput acceptance bench, which asserts the
 #              4-worker pool beats single-threaded submission by >= 2x
 #              on a 64-job batch with real wall-clock backoff
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== smoke: deterministic breaker trip =="
+cargo test -q -p qnat-core --test health_e2e breaker_trip_smoke
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== health: breaker unit + e2e + report-merge property suites =="
+cargo test -q -p qnat-core --lib health::
+cargo test -q -p qnat-core --test health_e2e
+cargo test -q -p qnat-core --test report_props
 
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
