@@ -93,12 +93,63 @@ impl BatchOutcome {
     }
 }
 
-/// How a deadline budget is handed to per-job executors.
-enum DeadlineMode {
+/// How a deadline budget is handed to per-job executors — shared by the
+/// batch pool and the `qnat-serve` serving engine.
+#[derive(Debug, Clone)]
+pub enum JobDeadline {
     /// A fresh budget of this many ms per job.
     PerJob(u64),
-    /// One shared budget for the whole batch.
+    /// One shared budget across all jobs (batch-wide deadline).
     Shared(DeadlineBudget),
+}
+
+/// Runs one job of a fleet — the worker-loop core shared by
+/// [`BatchExecutor`] and the long-lived workers of the `qnat-serve`
+/// engine. Builds the job's executor from `factory` at the global index
+/// and seed, attaches the `deadline` budget, applies the health layer's
+/// `short_circuit` verdict, executes, and remaps the report's failure
+/// records and any surfaced error to the global job index.
+///
+/// Determinism contract: for a fixed `(global, seed, job)` the outcome is
+/// a pure function of the factory — which worker (or which serving lane)
+/// runs the job can never change the result.
+pub fn run_job<F>(
+    factory: &F,
+    global: u64,
+    seed: u64,
+    job: &BatchJob,
+    short_circuit: bool,
+    deadline: Option<&JobDeadline>,
+) -> (Result<Measurements, BackendError>, ExecutionReport)
+where
+    F: Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + ?Sized,
+{
+    let (result, mut report) = match factory(global, seed) {
+        Ok(mut ex) => {
+            match deadline {
+                Some(JobDeadline::PerJob(ms)) => {
+                    ex = ex.with_deadline(DeadlineBudget::new(*ms));
+                }
+                Some(JobDeadline::Shared(budget)) => {
+                    ex = ex.with_deadline(budget.clone());
+                }
+                None => {}
+            }
+            if short_circuit {
+                ex.short_circuit_primary();
+            }
+            let r = ex.execute(&job.circuit, job.shots);
+            (r, ex.report().clone())
+        }
+        Err(e) => (Err(e), ExecutionReport::default()),
+    };
+    // Per-job executors number their (single) job 0; remap to the global
+    // index so merged failure records and surfaced errors stay
+    // attributable.
+    for f in &mut report.failures {
+        f.job = global;
+    }
+    (result.map_err(|e| e.with_job(global)), report)
 }
 
 /// A worker-pool batch front-end over per-job [`ResilientExecutor`]s.
@@ -171,8 +222,8 @@ where
         breaker_key: &str,
     ) -> BatchOutcome {
         let deadline = policy.deadline.map(|d| match d {
-            DeadlinePolicy::PerJob(ms) => DeadlineMode::PerJob(ms),
-            DeadlinePolicy::Batch(ms) => DeadlineMode::Shared(DeadlineBudget::new(ms)),
+            DeadlinePolicy::PerJob(ms) => JobDeadline::PerJob(ms),
+            DeadlinePolicy::Batch(ms) => JobDeadline::Shared(DeadlineBudget::new(ms)),
         });
         let Some(breaker_policy) = &policy.breaker else {
             let finished = self.run_slice(jobs, 0, None, deadline.as_ref());
@@ -207,7 +258,7 @@ where
         jobs: &[BatchJob],
         base: usize,
         admissions: Option<&[Admission]>,
-        deadline: Option<&DeadlineMode>,
+        deadline: Option<&JobDeadline>,
     ) -> Vec<(usize, Result<Measurements, BackendError>, ExecutionReport)> {
         let n = jobs.len();
         let workers = self.workers.min(n.max(1));
@@ -221,32 +272,10 @@ where
                     break;
                 }
                 let g = (base + i) as u64;
-                let (result, mut report) = match (self.factory)(g, self.job_seed(g)) {
-                    Ok(mut ex) => {
-                        match deadline {
-                            Some(DeadlineMode::PerJob(ms)) => {
-                                ex = ex.with_deadline(DeadlineBudget::new(*ms));
-                            }
-                            Some(DeadlineMode::Shared(budget)) => {
-                                ex = ex.with_deadline(budget.clone());
-                            }
-                            None => {}
-                        }
-                        if admissions.map(|a| a[i]) == Some(Admission::ShortCircuit) {
-                            ex.short_circuit_primary();
-                        }
-                        let r = ex.execute(&jobs[i].circuit, jobs[i].shots);
-                        (r, ex.report().clone())
-                    }
-                    Err(e) => (Err(e), ExecutionReport::default()),
-                };
-                // Per-job executors number their (single) job 0; remap to
-                // the batch-global index so merged failure records and
-                // surfaced errors stay attributable.
-                for f in &mut report.failures {
-                    f.job = g;
-                }
-                done.push((base + i, result.map_err(|e| e.with_job(g)), report));
+                let short = admissions.map(|a| a[i]) == Some(Admission::ShortCircuit);
+                let (result, report) =
+                    run_job(&self.factory, g, self.job_seed(g), &jobs[i], short, deadline);
+                done.push((base + i, result, report));
             }
             done
         };
@@ -285,8 +314,12 @@ where
 /// Fallback rescues count as primary failures (the primary exhausted its
 /// retries); short-circuited, validation-rejected, factory-failed and
 /// deadline-aborted jobs are neutral — they carry no verdict on the
-/// primary.
-fn job_signal(result: &Result<Measurements, BackendError>, report: &ExecutionReport) -> JobSignal {
+/// primary. Public so the `qnat-serve` engine feeds its breakers the same
+/// verdicts the batch health layer does.
+pub fn job_signal(
+    result: &Result<Measurements, BackendError>,
+    report: &ExecutionReport,
+) -> JobSignal {
     if report.short_circuited_jobs > 0 {
         return JobSignal::Neutral;
     }

@@ -26,75 +26,19 @@
 use qnat_noise::backend::{BackendError, Measurements, QuantumBackend};
 use qnat_sim::circuit::Circuit;
 use std::fmt;
-use std::time::Duration;
 
-/// SplitMix64 — hashes (seed, job, attempt) into a jitter draw.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+pub use crate::time::{Sleeper, ThreadSleeper, VirtualSleeper};
+
+/// SplitMix64 — the seed hash behind every per-job derivation in the
+/// deployment stack: retry jitter draws here, per-job executor seeds in
+/// [`crate::batch::BatchExecutor::job_seed`], and per-ticket seeds in the
+/// `qnat-serve` engine (which must match the batch derivation exactly so a
+/// served workload replays as a batch bit-for-bit).
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
-}
-
-/// The clock retry backoff runs on.
-///
-/// The executor always *records* backoff in its [`ExecutionReport`]; the
-/// sleeper decides whether the interval additionally elapses on the wall
-/// clock. Tests and benches inject [`VirtualSleeper`] so retry storms cost
-/// nothing; deployments serving live traffic inject [`ThreadSleeper`] so
-/// backoff actually throttles the primary backend.
-///
-/// `Send` lets an executor (sleeper included) move into a worker thread of
-/// the [`crate::batch::BatchExecutor`] pool.
-pub trait Sleeper: Send {
-    /// Sleeps for `ms` milliseconds (really or virtually) and accounts it.
-    fn sleep(&mut self, ms: u64);
-
-    /// Attempts to sleep for `ms` milliseconds, returning `false` if the
-    /// sleeper refuses (e.g. a deadline budget is exhausted —
-    /// [`crate::health::DeadlineSleeper`]). A refused sleep accounts and
-    /// elapses nothing. Plain sleepers always accept.
-    fn try_sleep(&mut self, ms: u64) -> bool {
-        self.sleep(ms);
-        true
-    }
-
-    /// Total milliseconds of backoff accounted so far.
-    fn slept_ms(&self) -> u64;
-}
-
-/// Records backoff without stalling — the default for tests and benches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct VirtualSleeper {
-    slept_ms: u64,
-}
-
-impl Sleeper for VirtualSleeper {
-    fn sleep(&mut self, ms: u64) {
-        self.slept_ms = self.slept_ms.saturating_add(ms);
-    }
-
-    fn slept_ms(&self) -> u64 {
-        self.slept_ms
-    }
-}
-
-/// Really sleeps on the OS clock via [`std::thread::sleep`] — what a
-/// deployment serving live traffic injects so backoff throttles for real.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ThreadSleeper {
-    slept_ms: u64,
-}
-
-impl Sleeper for ThreadSleeper {
-    fn sleep(&mut self, ms: u64) {
-        std::thread::sleep(Duration::from_millis(ms));
-        self.slept_ms = self.slept_ms.saturating_add(ms);
-    }
-
-    fn slept_ms(&self) -> u64 {
-        self.slept_ms
-    }
 }
 
 /// Retry/backoff/degradation policy of a [`ResilientExecutor`].
@@ -523,6 +467,7 @@ mod tests {
     use qnat_noise::fault::{FaultSpec, FaultyBackend};
     use qnat_noise::presets;
     use qnat_sim::gate::Gate;
+    use std::time::Duration;
 
     fn bell() -> Circuit {
         let mut c = Circuit::new(2);
@@ -577,20 +522,6 @@ mod tests {
         // clamp exactly onto the ceiling; if none do, the cap is not
         // actually being exercised.
         assert!(saturated_draws > 100, "cap never binds: {saturated_draws}");
-    }
-
-    #[test]
-    fn sleepers_record_identical_backoff_totals() {
-        // The two sleepers account the exact same milliseconds for the
-        // same schedule; only the wall-clock behaviour differs.
-        let mut virt = VirtualSleeper::default();
-        let mut real = ThreadSleeper::default();
-        for ms in [0, 1, 2, 5, 1, 0, 3] {
-            virt.sleep(ms);
-            real.sleep(ms);
-        }
-        assert_eq!(virt.slept_ms(), real.slept_ms());
-        assert_eq!(virt.slept_ms(), 12);
     }
 
     #[test]

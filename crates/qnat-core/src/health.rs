@@ -48,10 +48,11 @@
 //! count even though the total cap always holds. Per-job budgets
 //! ([`DeadlinePolicy::PerJob`]) are fully invariant.
 
-use crate::executor::Sleeper;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+pub use crate::time::DeadlineSleeper;
 
 /// Circuit-breaker thresholds and cadence.
 #[derive(Debug, Clone, PartialEq)]
@@ -403,46 +404,6 @@ impl DeadlineBudget {
     }
 }
 
-/// A [`Sleeper`] decorator that refuses any sleep its [`DeadlineBudget`]
-/// cannot cover — the mechanism behind
-/// [`crate::executor::ResilientExecutor::with_deadline`]. Refused sleeps
-/// neither elapse nor count toward `slept_ms`.
-pub struct DeadlineSleeper {
-    inner: Box<dyn Sleeper>,
-    budget: DeadlineBudget,
-}
-
-impl DeadlineSleeper {
-    /// Wraps `inner` under `budget`.
-    pub fn new(inner: Box<dyn Sleeper>, budget: DeadlineBudget) -> Self {
-        DeadlineSleeper { inner, budget }
-    }
-
-    /// The budget handle (shareable across sleepers).
-    pub fn budget(&self) -> &DeadlineBudget {
-        &self.budget
-    }
-}
-
-impl Sleeper for DeadlineSleeper {
-    fn sleep(&mut self, ms: u64) {
-        let _ = self.try_sleep(ms);
-    }
-
-    fn try_sleep(&mut self, ms: u64) -> bool {
-        if self.budget.try_consume(ms) {
-            self.inner.sleep(ms);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn slept_ms(&self) -> u64 {
-        self.inner.slept_ms()
-    }
-}
-
 /// Opt-in health configuration for batch deployment: either knob may be
 /// enabled independently.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -466,7 +427,6 @@ impl HealthPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::VirtualSleeper;
 
     fn policy() -> BreakerPolicy {
         BreakerPolicy {
@@ -668,15 +628,5 @@ mod tests {
         assert_eq!(budget.remaining_ms(), 0);
         assert!(!budget.try_consume(1));
         assert!(budget.try_consume(0), "zero consumption always fits");
-    }
-
-    #[test]
-    fn deadline_sleeper_refuses_over_budget_sleeps() {
-        let mut s = DeadlineSleeper::new(Box::<VirtualSleeper>::default(), DeadlineBudget::new(10));
-        assert!(s.try_sleep(6));
-        assert!(!s.try_sleep(6), "4 ms left cannot cover 6 ms");
-        assert!(s.try_sleep(4));
-        assert_eq!(s.slept_ms(), 10, "refused sleeps account nothing");
-        assert_eq!(s.budget().remaining_ms(), 0);
     }
 }

@@ -155,9 +155,9 @@ pub struct InferenceResult {
     /// `block_outputs[block][sample][qubit]`.
     pub block_outputs: Vec<Vec<Vec<f64>>>,
     /// Cumulative execution report of the resilient executors (present
-    /// for [`InferenceBackend::Resilient`] and [`InferenceBackend::Batch`]
-    /// — retries, backoff and degradation events since the model was
-    /// deployed).
+    /// for [`InferenceBackend::Resilient`], [`InferenceBackend::Batch`]
+    /// and reporting [`InferenceBackend::Serving`] deployments — retries,
+    /// backoff and degradation events since the model was deployed).
     pub report: Option<ExecutionReport>,
 }
 
@@ -288,12 +288,20 @@ impl ResilientQnn<'_> {
     }
 }
 
-/// One block of a batch deployment: routed and lowered once, with the
-/// device window kept so per-job backends can be built inside the pool.
-struct BatchBlock {
-    lowered: SymbolicLowered,
-    obs: Vec<usize>,
-    view: DeviceModel,
+/// One block routed and lowered for pooled (or served) submission, with
+/// the device window kept so per-job backends can be built inside a worker
+/// pool long after deployment.
+///
+/// Shared by [`Qnn::deploy_batch`] and the `qnat-serve` serving engine —
+/// both obtain their plans from [`Qnn::route_plan`].
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    /// The routed, windowed circuit lowered to symbolic parameters.
+    pub lowered: SymbolicLowered,
+    /// Window indices of the observable qubits, in logical order.
+    pub obs: Vec<usize>,
+    /// The routed device window backends are built over.
+    pub view: DeviceModel,
 }
 
 /// A QNN deployed for pooled batch submission: each block's circuits fan
@@ -305,7 +313,7 @@ struct BatchBlock {
 /// notes on [`crate::batch`].
 pub struct BatchedQnn<'a> {
     qnn: &'a Qnn,
-    blocks: Vec<BatchBlock>,
+    blocks: Vec<BlockPlan>,
     /// Finite-shot sampling (`None` = exact expectations).
     pub shots: Option<usize>,
     policy: RetryPolicy,
@@ -433,6 +441,32 @@ impl BatchedQnn<'_> {
 }
 
 impl Qnn {
+    /// Routes and lowers every block for a device without binding it to
+    /// any executor — the shared front half of [`Qnn::deploy_batch`] and
+    /// the `qnat-serve` serving deployment. `opt_level ≥ 3` enables the
+    /// noise-adaptive initial layout (Table 7); lower levels use the
+    /// trivial layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small.
+    pub fn route_plan(
+        &self,
+        device: &DeviceModel,
+        opt_level: u8,
+    ) -> Result<Vec<BlockPlan>, InvalidDeviceError> {
+        let mut plans = Vec::with_capacity(self.blocks().len());
+        for block in self.blocks() {
+            let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+            plans.push(BlockPlan {
+                lowered: lower_symbolic(&windowed),
+                obs,
+                view,
+            });
+        }
+        Ok(plans)
+    }
+
     /// Transpiles the model for a device. `opt_level ≥ 3` enables the
     /// noise-adaptive initial layout (Table 7); lower levels use the
     /// trivial layout.
@@ -546,18 +580,9 @@ impl Qnn {
         workers: usize,
         seed: u64,
     ) -> Result<BatchedQnn<'a>, InvalidDeviceError> {
-        let mut blocks = Vec::with_capacity(self.blocks().len());
-        for block in self.blocks() {
-            let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
-            blocks.push(BatchBlock {
-                lowered: lower_symbolic(&windowed),
-                obs,
-                view,
-            });
-        }
         Ok(BatchedQnn {
             qnn: self,
-            blocks,
+            blocks: self.route_plan(device, opt_level)?,
             shots: None,
             policy,
             faults,
@@ -597,6 +622,35 @@ fn route_block(
     Ok((windowed, obs, view))
 }
 
+/// A long-lived serving deployment [`infer`] can hand whole block batches
+/// to — the seam the `qnat-serve` crate plugs its `ServeEngine` into
+/// without `qnat-core` depending on it.
+///
+/// Implementations submit every row of the block as one job each, wait for
+/// all tickets, and return per-row observable expectations in submission
+/// order (completion order is the serving layer's concern, not the
+/// pipeline's).
+pub trait ServeBackend {
+    /// Evaluates `block_idx` for every row of the batch, returning
+    /// per-row observable expectations in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first row's [`BackendError`] if any job failed past
+    /// every retry, fallback and admission decision.
+    fn serve_block_batch(
+        &self,
+        block_idx: usize,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, BackendError>;
+
+    /// Cumulative merged execution report of the serving workers, if the
+    /// implementation tracks one.
+    fn serve_report(&self) -> Option<ExecutionReport> {
+        None
+    }
+}
+
 /// Which physical process produces the measurement outcomes.
 pub enum InferenceBackend<'a> {
     /// Ideal statevector simulation.
@@ -620,6 +674,10 @@ pub enum InferenceBackend<'a> {
     /// Like [`InferenceBackend::Resilient`], but whole batches are fanned
     /// across a worker pool ([`Qnn::deploy_batch`]).
     Batch(&'a BatchedQnn<'a>),
+    /// A long-lived serving deployment (the `qnat-serve` engine): blocks
+    /// are submitted to a persistent job queue with admission control and
+    /// backpressure instead of a per-batch pool.
+    Serving(&'a dyn ServeBackend),
 }
 
 /// Runs the full inference pipeline over a batch.
@@ -653,10 +711,13 @@ pub fn infer<R: Rng>(
     let mut activations: Vec<Vec<f64>> = features.to_vec();
     let mut block_outputs = Vec::with_capacity(n_blocks);
     for bi in 0..n_blocks {
-        // Raw outcomes for the whole batch. The batch backend submits all
-        // rows to its worker pool at once; the others evaluate row by row.
+        // Raw outcomes for the whole batch. The batch and serving backends
+        // submit all rows at once (worker pool / serve queue); the others
+        // evaluate row by row.
         let raw: Vec<Vec<f64>> = if let InferenceBackend::Batch(dep) = backend {
             dep.eval_block_batch(bi, &activations)?
+        } else if let InferenceBackend::Serving(dep) = backend {
+            dep.serve_block_batch(bi, &activations)?
         } else {
             activations
             .iter()
@@ -688,8 +749,8 @@ pub fn infer<R: Rng>(
                     }
                     InferenceBackend::Hardware(dep) => Ok(dep.eval_block(bi, row, rng)?),
                     InferenceBackend::Resilient(dep) => Ok(dep.eval_block(bi, row)?),
-                    // Handled by the whole-batch path above.
-                    InferenceBackend::Batch(_) => unreachable!(),
+                    // Handled by the whole-batch paths above.
+                    InferenceBackend::Batch(_) | InferenceBackend::Serving(_) => unreachable!(),
                 }
             })
             .collect::<Result<_, _>>()?
@@ -720,6 +781,7 @@ pub fn infer<R: Rng>(
     let report = match backend {
         InferenceBackend::Resilient(dep) => Some(dep.report()),
         InferenceBackend::Batch(dep) => Some(dep.report()),
+        InferenceBackend::Serving(dep) => dep.serve_report(),
         _ => None,
     };
     Ok(InferenceResult {

@@ -21,7 +21,8 @@
 //! degradation to the noise-model simulator); [`batch`] worker-pool
 //! parallel job submission over per-job resilient executors; [`health`]
 //! fleet-wide circuit breaking, half-open recovery probes and deadline
-//! budgets over the batch pool; [`mitigate`] zero-noise extrapolation
+//! budgets over the batch pool; [`mod@time`] the virtual/real clocks the
+//! retry machinery runs on; [`mitigate`] zero-noise extrapolation
 //! (Table 4).
 //!
 //! ## Example
@@ -55,10 +56,11 @@ pub mod mitigate;
 pub mod model;
 pub mod normalize;
 pub mod sweep;
+pub mod time;
 pub mod train;
 
 pub use ansatz::DesignSpace;
-pub use batch::{BatchExecutor, BatchJob, BatchOutcome};
+pub use batch::{BatchExecutor, BatchJob, BatchOutcome, JobDeadline};
 pub use executor::{
     ExecutionReport, ResilientExecutor, RetryPolicy, Sleeper, ThreadSleeper, VirtualSleeper,
 };
@@ -67,6 +69,8 @@ pub use health::{
     Admission, BreakerPolicy, BreakerSnapshot, BreakerState, CircuitBreaker, DeadlineBudget,
     DeadlinePolicy, DeadlineSleeper, HealthPolicy, HealthRegistry, JobSignal,
 };
-pub use infer::{infer, InferError, InferenceBackend, InferenceOptions, NormMode};
+pub use infer::{
+    infer, BlockPlan, InferError, InferenceBackend, InferenceOptions, NormMode, ServeBackend,
+};
 pub use model::{NoiseSource, Qnn, QnnConfig};
 pub use train::{train, AdamConfig, TrainOptions};

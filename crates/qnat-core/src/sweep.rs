@@ -61,6 +61,24 @@ pub struct SweepConfig {
     pub workers: usize,
 }
 
+impl SweepConfig {
+    /// The full candidate grid `t_factors × levels`, in grid order
+    /// (`t` outer, `levels` inner) — the order records land in and ties
+    /// break toward. Also the unit of work the `qnat-serve` bulk lane
+    /// schedules.
+    pub fn grid(&self) -> Vec<SweepPoint> {
+        self.t_factors
+            .iter()
+            .flat_map(|&t| {
+                self.levels.iter().map(move |&levels| SweepPoint {
+                    t_factor: t,
+                    levels,
+                })
+            })
+            .collect()
+    }
+}
+
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
@@ -108,16 +126,7 @@ pub fn select_hyperparameters(
         !sweep.t_factors.is_empty() && !sweep.levels.is_empty(),
         "empty sweep grid"
     );
-    let points: Vec<SweepPoint> = sweep
-        .t_factors
-        .iter()
-        .flat_map(|&t| {
-            sweep.levels.iter().map(move |&levels| SweepPoint {
-                t_factor: t,
-                levels,
-            })
-        })
-        .collect();
+    let points = sweep.grid();
     let n = points.len();
     let workers = sweep.workers.max(1).min(n);
     let next = std::sync::atomic::AtomicUsize::new(0);

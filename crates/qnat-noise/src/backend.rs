@@ -111,6 +111,14 @@ pub enum BackendError {
         /// Name of the backend whose breaker is open.
         backend: String,
     },
+    /// The serving layer refused or evicted the job under load — queue
+    /// admission shed it, or a newer submission displaced it under a
+    /// shed-oldest backpressure policy. Not retryable as-is: the caller
+    /// should back off and resubmit.
+    Overloaded {
+        /// Human-readable reason (which queue/lane and why).
+        reason: String,
+    },
 }
 
 impl BackendError {
@@ -187,6 +195,9 @@ impl fmt::Display for BackendError {
             }
             BackendError::CircuitOpen { backend } => {
                 write!(f, "circuit breaker open for backend {backend}")
+            }
+            BackendError::Overloaded { reason } => {
+                write!(f, "serving layer overloaded: {reason}")
             }
         }
     }

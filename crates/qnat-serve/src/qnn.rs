@@ -1,0 +1,297 @@
+//! Serving deployment of a QNN: one [`ServeEngine`] per block, wired into
+//! the inference pipeline through [`qnat_core::infer::ServeBackend`].
+//!
+//! ## Replay contract
+//!
+//! [`DeployServing::deploy_serving`] mirrors
+//! [`Qnn::deploy_batch`](qnat_core::model::Qnn::deploy_batch) exactly:
+//! the same [`Qnn::route_plan`](qnat_core::model::Qnn::route_plan) routing,
+//! the same per-job backend factory (emulator primary, optional fault
+//! decorator positioned at the job index, Pauli noise-model fallback), and
+//! the same per-block seed `splitmix64(seed ^ block · φ)`. Each block's
+//! engine numbers its tickets from zero, so the *first* inference through
+//! a fresh [`ServingQnn`] is bitwise identical to the same batch through a
+//! fresh `deploy_batch` deployment — pinned by
+//! `qnat-serve/tests/serving_e2e.rs`. Later inferences keep advancing the
+//! ticket counter (a serving queue is a stream, not a batch), so replaying
+//! them as a batch requires replaying the whole served history.
+
+use crate::engine::{
+    AdmissionControl, EngineStats, Lane, LaneConfig, OpenAction, ServeConfig, ServeEngine,
+};
+use qnat_core::batch::BatchJob;
+use qnat_core::executor::{splitmix64, ExecutionReport, ResilientExecutor, RetryPolicy};
+use qnat_core::health::{BreakerPolicy, HealthRegistry};
+use qnat_core::infer::{BlockPlan, ServeBackend};
+use qnat_core::model::Qnn;
+use qnat_noise::backend::{BackendError, EmulatorBackend, NoiseModelBackend, QuantumBackend};
+use qnat_noise::device::{DeviceModel, InvalidDeviceError};
+use qnat_noise::fault::{FaultSpec, FaultyBackend};
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// Admission control template for a serving deployment — the per-block
+/// breaker keys are derived from the routed device windows.
+#[derive(Debug, Clone)]
+pub struct ServeAdmission {
+    /// Breaker thresholds shared by every block's breaker.
+    pub policy: BreakerPolicy,
+    /// What an open breaker does to new submissions.
+    pub on_open: OpenAction,
+}
+
+/// Serving-engine knobs of a deployment (everything
+/// [`Qnn::deploy_batch`](qnat_core::model::Qnn::deploy_batch) does not
+/// already take).
+#[derive(Debug, Clone)]
+pub struct ServingOptions {
+    /// Persistent workers per block engine (clamped to ≥ 1).
+    pub workers: usize,
+    /// Deployment seed — block `b`'s engine seed is
+    /// `splitmix64(seed ^ b · φ)`, matching the batch layer's per-block
+    /// pool seeds.
+    pub seed: u64,
+    /// The interactive lane of every block engine.
+    pub interactive: LaneConfig,
+    /// The bulk lane of every block engine.
+    pub bulk: LaneConfig,
+    /// Optional per-job backoff budget in milliseconds. Leave `None` for
+    /// bitwise batch-replay equality (the batch layer attaches deadlines
+    /// only through its health policy).
+    pub deadline_ms: Option<u64>,
+    /// Optional enqueue-time admission control (one breaker per block).
+    pub admission: Option<ServeAdmission>,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        ServingOptions {
+            workers: 4,
+            seed: 0,
+            interactive: LaneConfig::default(),
+            bulk: LaneConfig::default(),
+            deadline_ms: None,
+            admission: None,
+        }
+    }
+}
+
+/// A QNN deployed onto long-lived per-block serving engines. Use through
+/// [`InferenceBackend::Serving`](qnat_core::infer::InferenceBackend) or
+/// submit block batches directly via
+/// [`ServeBackend::serve_block_batch`].
+pub struct ServingQnn<'a> {
+    qnn: &'a Qnn,
+    plans: Vec<BlockPlan>,
+    engines: Vec<ServeEngine>,
+    registry: Arc<HealthRegistry>,
+    /// Finite-shot sampling (`None` = exact expectations).
+    pub shots: Option<usize>,
+    lane: Cell<Lane>,
+    report: RefCell<ExecutionReport>,
+}
+
+/// Extension trait deploying a [`Qnn`] onto serving engines — lives here
+/// because `qnat-core` cannot depend on `qnat-serve`.
+pub trait DeployServing {
+    /// Routes the model for `device` and starts one [`ServeEngine`] per
+    /// block: hardware emulator primary, Pauli noise-model fallback,
+    /// `faults` (if given) injected into the primary, every job behind a
+    /// fresh ticket-seeded [`ResilientExecutor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small.
+    fn deploy_serving<'a>(
+        &'a self,
+        device: &DeviceModel,
+        opt_level: u8,
+        policy: RetryPolicy,
+        faults: Option<FaultSpec>,
+        opts: &ServingOptions,
+    ) -> Result<ServingQnn<'a>, InvalidDeviceError>;
+}
+
+impl DeployServing for Qnn {
+    fn deploy_serving<'a>(
+        &'a self,
+        device: &DeviceModel,
+        opt_level: u8,
+        policy: RetryPolicy,
+        faults: Option<FaultSpec>,
+        opts: &ServingOptions,
+    ) -> Result<ServingQnn<'a>, InvalidDeviceError> {
+        let plans = self.route_plan(device, opt_level)?;
+        let registry = Arc::new(HealthRegistry::new());
+        let engines = plans
+            .iter()
+            .enumerate()
+            .map(|(bi, plan)| {
+                // The factory mirrors BatchedQnn's job factory exactly —
+                // same backends, same seed mixing, same jitter
+                // decorrelation — so a serve ticket and a batch job index
+                // produce the same executor.
+                let view = plan.view.clone();
+                let policy = policy.clone();
+                let factory =
+                    move |job: u64, job_seed: u64| -> Result<ResilientExecutor, BackendError> {
+                        let emulator = EmulatorBackend::new(&view, job_seed)?;
+                        let primary: Box<dyn QuantumBackend> = match faults {
+                            // Fault *rolls* are decorrelated per job (seed ^
+                            // job_seed); calibration *drift* is positioned at
+                            // the ticket, so all per-job backends sample one
+                            // fleet-wide drift trajectory.
+                            Some(spec) => Box::new(FaultyBackend::starting_at(
+                                emulator,
+                                FaultSpec {
+                                    seed: spec.seed ^ job_seed,
+                                    ..spec
+                                },
+                                job,
+                            )),
+                            None => Box::new(emulator),
+                        };
+                        let fallback = NoiseModelBackend::new(&view, job_seed ^ 0x5eed)?;
+                        Ok(ResilientExecutor::with_fallback(
+                            primary,
+                            Box::new(fallback),
+                            RetryPolicy {
+                                jitter_seed: policy.jitter_seed ^ job_seed,
+                                ..policy.clone()
+                            },
+                        ))
+                    };
+                let engine_seed =
+                    splitmix64(opts.seed ^ (bi as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let config = ServeConfig {
+                    workers: opts.workers,
+                    seed: engine_seed,
+                    interactive: opts.interactive.clone(),
+                    bulk: opts.bulk.clone(),
+                    deadline_ms: opts.deadline_ms,
+                    admission: opts.admission.as_ref().map(|a| AdmissionControl {
+                        key: breaker_key(plan, bi),
+                        policy: a.policy.clone(),
+                        on_open: a.on_open,
+                    }),
+                };
+                ServeEngine::with_registry(config, factory, Arc::clone(&registry))
+            })
+            .collect();
+        Ok(ServingQnn {
+            qnn: self,
+            plans,
+            engines,
+            registry,
+            shots: None,
+            lane: Cell::new(Lane::Interactive),
+            report: RefCell::new(ExecutionReport::default()),
+        })
+    }
+}
+
+/// Registry key of a block's primary-backend breaker — the same key the
+/// batch health layer uses, so shared registries line up.
+fn breaker_key(plan: &BlockPlan, block_idx: usize) -> String {
+    format!("emulator({})/block{}", plan.view.name(), block_idx)
+}
+
+impl ServingQnn<'_> {
+    /// The deployed model.
+    pub fn qnn(&self) -> &Qnn {
+        self.qnn
+    }
+
+    /// The lane subsequent block batches are submitted on (defaults to
+    /// [`Lane::Interactive`]).
+    pub fn lane(&self) -> Lane {
+        self.lane.get()
+    }
+
+    /// Routes subsequent block batches onto `lane`.
+    pub fn set_lane(&self, lane: Lane) {
+        self.lane.set(lane);
+    }
+
+    /// Cumulative merged execution report of every served block batch.
+    pub fn report(&self) -> ExecutionReport {
+        self.report.borrow().clone()
+    }
+
+    /// The block's serving engine (for direct `submit`/`poll`/`wait`/
+    /// `subscribe` access).
+    pub fn engine(&self, block_idx: usize) -> &ServeEngine {
+        &self.engines[block_idx]
+    }
+
+    /// Per-block engine stats, block-index order.
+    pub fn stats(&self) -> Vec<EngineStats> {
+        self.engines.iter().map(ServeEngine::stats).collect()
+    }
+
+    /// The registry holding every block's circuit breaker.
+    pub fn health_registry(&self) -> &Arc<HealthRegistry> {
+        &self.registry
+    }
+
+    /// Registry key of `block_idx`'s breaker.
+    pub fn breaker_key(&self, block_idx: usize) -> String {
+        breaker_key(&self.plans[block_idx], block_idx)
+    }
+
+    /// Gracefully drains every block engine (queued jobs finish) and
+    /// returns the final per-block stats.
+    pub fn drain(self) -> Vec<EngineStats> {
+        self.engines.into_iter().map(ServeEngine::drain).collect()
+    }
+}
+
+impl ServeBackend for ServingQnn<'_> {
+    fn serve_block_batch(
+        &self,
+        block_idx: usize,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, BackendError> {
+        let block = &self.qnn.blocks()[block_idx];
+        let plan = &self.plans[block_idx];
+        let engine = &self.engines[block_idx];
+        let lane = self.lane.get();
+        let mut tickets = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut params = block.encoder.angles(row);
+            params.extend_from_slice(self.qnn.block_params(block_idx));
+            let job = BatchJob {
+                circuit: plan.lowered.bind(&params),
+                shots: self.shots,
+            };
+            tickets.push(engine.submit(job, lane).map_err(BackendError::from)?);
+        }
+        // Wait in ticket order and merge reports the same way — matching
+        // the batch layer's job-index-ordered merge, so a served batch's
+        // report equals the pooled batch's report.
+        let mut merged = ExecutionReport::default();
+        let mut results = Vec::with_capacity(rows.len());
+        for &t in &tickets {
+            match engine.wait(t) {
+                Some(outcome) => {
+                    merged.merge(&outcome.report);
+                    results.push(outcome.result);
+                }
+                None => results.push(Err(BackendError::Overloaded {
+                    reason: format!("ticket {t} discarded before completion"),
+                })),
+            }
+        }
+        self.report.borrow_mut().merge(&merged);
+        let mut out = Vec::with_capacity(rows.len());
+        for result in results {
+            let m = result?;
+            out.push(plan.obs.iter().map(|&w| m.expectations[w]).collect());
+        }
+        Ok(out)
+    }
+
+    fn serve_report(&self) -> Option<ExecutionReport> {
+        Some(self.report())
+    }
+}

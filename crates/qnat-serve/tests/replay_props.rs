@@ -1,0 +1,165 @@
+//! Property tests for the serving layer's replay contract: a served
+//! workload — whatever lanes the jobs ride on, whatever order and through
+//! whichever of `poll`/`wait` the results are consumed — is bitwise
+//! identical, per ticket, to one [`BatchExecutor::execute`] of the same
+//! jobs, and the ticket-order-merged reports match the batch's merged
+//! report.
+
+use proptest::prelude::*;
+use qnat_core::batch::{BatchExecutor, BatchJob};
+use qnat_core::executor::{ExecutionReport, ResilientExecutor, RetryPolicy, VirtualSleeper};
+use qnat_noise::backend::{BackendError, SimulatorBackend};
+use qnat_noise::fault::{FaultSpec, FaultyBackend};
+use qnat_serve::{JobOutcome, Lane, Poll, ServeConfig, ServeEngine};
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+
+fn jobs(n: usize, shots: Option<usize>) -> Vec<BatchJob> {
+    (0..n)
+        .map(|k| {
+            let mut c = Circuit::new(2);
+            c.push(Gate::ry(0, 0.17 * k as f64 + 0.03));
+            c.push(Gate::cx(0, 1));
+            BatchJob { circuit: c, shots }
+        })
+        .collect()
+}
+
+fn factory(
+    fault_rate: f64,
+) -> impl Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + Send + Sync + Clone + 'static {
+    move |_job: u64, seed: u64| {
+        Ok(ResilientExecutor::with_fallback(
+            Box::new(FaultyBackend::new(
+                SimulatorBackend::new(seed),
+                FaultSpec::transient(fault_rate, seed),
+            )),
+            Box::new(SimulatorBackend::new(seed ^ 0x5eed)),
+            RetryPolicy {
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            },
+        )
+        .with_sleeper(Box::new(VirtualSleeper::default())))
+    }
+}
+
+/// Spin on `poll` until the ticket resolves — exercises the non-blocking
+/// path, including the Queued/Running states, without ever blocking.
+fn poll_spin(engine: &ServeEngine, ticket: u64) -> JobOutcome {
+    loop {
+        match engine.poll(ticket) {
+            Poll::Ready(outcome) => return outcome,
+            Poll::Queued | Poll::Running => std::thread::yield_now(),
+            Poll::Unknown => panic!("ticket {ticket} vanished before consumption"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The central guarantee: per-ticket serve results equal per-index
+    /// batch results under any lane assignment and any consumption
+    /// interleaving.
+    #[test]
+    fn served_workload_replays_as_one_batch(
+        seed in 0u64..u64::MAX,
+        fault_rate in 0.0f64..0.7,
+        workers in 1usize..5,
+        shots in prop_oneof![Just(None), (32usize..256).prop_map(Some)],
+        lanes in prop::collection::vec((0u8..2).prop_map(|b| b == 1), 1..24),
+        consume_order_seed in 0u64..u64::MAX,
+        use_wait in prop::collection::vec((0u8..2).prop_map(|b| b == 1), 24),
+    ) {
+        let n = lanes.len();
+        let jobs = jobs(n, shots);
+
+        // Ground truth: one batch execution of the same jobs.
+        let batch = BatchExecutor::new(workers, seed, factory(fault_rate)).execute(&jobs);
+
+        let engine = ServeEngine::new(
+            ServeConfig { workers, seed, ..ServeConfig::default() },
+            factory(fault_rate),
+        );
+        let stream = engine.subscribe();
+
+        // Submission order defines tickets: job k gets ticket k, on an
+        // arbitrary lane.
+        let mut tickets = Vec::with_capacity(n);
+        for (k, &interactive) in lanes.iter().enumerate() {
+            let lane = if interactive { Lane::Interactive } else { Lane::Bulk };
+            let t = engine.submit(jobs[k].clone(), lane)
+                .expect("blocking lanes accept every submission");
+            prop_assert_eq!(t, k as u64, "tickets are dense from zero");
+            tickets.push(t);
+        }
+
+        // Consume in a derived pseudo-random order, each ticket through
+        // either wait (blocking) or a poll spin (non-blocking).
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut x = consume_order_seed | 1;
+        for i in (1..n).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (x >> 33) as usize % (i + 1));
+        }
+
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; n];
+        for &i in &order {
+            let t = tickets[i];
+            let outcome = if use_wait[i] {
+                engine.wait(t).expect("ticket is never discarded")
+            } else {
+                poll_spin(&engine, t)
+            };
+            outcomes[i] = Some(outcome);
+        }
+
+        // Per-ticket bitwise equality with the batch, and the ticket-order
+        // report merge matches the batch's job-index-order merge.
+        let mut merged = ExecutionReport::default();
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome.expect("every ticket was consumed");
+            prop_assert_eq!(&outcome.result, &batch.results[k],
+                "ticket {} diverges from batch job {}", k, k);
+            merged.merge(&outcome.report);
+        }
+        prop_assert_eq!(&merged, &batch.report);
+
+        // The subscription streamed every completion exactly once, with
+        // the same per-ticket results.
+        let stats = engine.drain();
+        prop_assert_eq!(stats.submitted, n as u64);
+        prop_assert_eq!(stats.completed, n as u64);
+        let mut streamed: Vec<(u64, Result<_, _>)> = stream.iter().collect();
+        streamed.sort_by_key(|(t, _)| *t);
+        prop_assert_eq!(streamed.len(), n);
+        for (k, (t, result)) in streamed.into_iter().enumerate() {
+            prop_assert_eq!(t, k as u64);
+            prop_assert_eq!(&result, &batch.results[k]);
+        }
+    }
+
+    /// Ticket seeds depend only on (engine seed, ticket) — not on worker
+    /// count, lanes, or anything observed at runtime — and match the batch
+    /// layer's job seeds exactly.
+    #[test]
+    fn ticket_seeds_match_batch_job_seeds(
+        seed in 0u64..u64::MAX,
+        n in 2usize..32,
+    ) {
+        let engine = ServeEngine::new(
+            ServeConfig { workers: 1, seed, ..ServeConfig::default() },
+            factory(0.0),
+        );
+        let pool = BatchExecutor::new(1, seed, factory(0.0));
+        let mut seen = Vec::with_capacity(n);
+        for t in 0..n as u64 {
+            prop_assert_eq!(engine.job_seed(t), pool.job_seed(t));
+            seen.push(engine.job_seed(t));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n, "per-ticket seeds must not collide");
+    }
+}

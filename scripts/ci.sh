@@ -6,10 +6,18 @@
 #   3. health: the fleet-health suites — breaker unit tests, the
 #              breaker-on-vs-off / deadline-budget e2e acceptance tests,
 #              and the report-merge property tests
-#   4. lint:   clippy -D warnings (scripts/lint.sh)
-#   5. perf:   the batch-throughput acceptance bench, which asserts the
-#              4-worker pool beats single-threaded submission by >= 2x
-#              on a 64-job batch with real wall-clock backoff
+#   4. serve:  the serving-subsystem suites — engine unit tests, the
+#              batch-replay property tests, the serving e2e acceptance
+#              tests, and a deadlock-guarded smoke run of the serving
+#              example against a fault-injecting backend (the example
+#              itself asserts a nonzero completed-job count; the timeout
+#              turns a queue deadlock into a loud failure)
+#   5. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
+#              includes qnat-serve's unwrap_used wall)
+#   6. perf:   the batch-throughput and serve-throughput acceptance
+#              benches, which assert the 4-worker pool / serving engine
+#              beats single-threaded submission by >= 2x on a 64-job
+#              workload with real wall-clock backoff
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,10 +35,20 @@ cargo test -q -p qnat-core --lib health::
 cargo test -q -p qnat-core --test health_e2e
 cargo test -q -p qnat-core --test report_props
 
+echo "== serve: engine unit + replay property + e2e suites =="
+cargo test -q -p qnat-serve
+
+echo "== serve: example smoke gate (deadlock-guarded) =="
+cargo build --release --example serving
+timeout 120 cargo run --release --example serving
+
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
 
 echo "== bench: batch_throughput acceptance gate =="
 cargo bench -p qnat-bench --bench batch_throughput
+
+echo "== bench: serve_throughput acceptance gate =="
+cargo bench -p qnat-bench --bench serve_throughput
 
 echo "CI OK"

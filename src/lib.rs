@@ -14,6 +14,8 @@
 //!   preprocessing.
 //! * [`core`] — QuantumNAT itself: the QNN model, post-measurement
 //!   normalization, noise injection, quantization, training and deployment.
+//! * [`serve`] — the long-lived serving layer: job queue, admission
+//!   control, backpressure and priority lanes over the batch pool.
 //!
 //! ## Quickstart
 //!
@@ -35,4 +37,5 @@ pub use qnat_compiler as compiler;
 pub use qnat_core as core;
 pub use qnat_data as data;
 pub use qnat_noise as noise;
+pub use qnat_serve as serve;
 pub use qnat_sim as sim;
