@@ -11,6 +11,7 @@
 //! sequential per-job `ResilientExecutor` loop over the same work.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnat_bench::stats::latency_percentiles_ms;
 use qnat_core::batch::{run_job, BatchJob};
 use qnat_core::executor::{splitmix64, ResilientExecutor, RetryPolicy, ThreadSleeper};
 use qnat_json::Json;
@@ -108,11 +109,6 @@ fn run_serve(workers: usize) -> ServeRun {
     ServeRun { elapsed, latencies }
 }
 
-fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx].as_secs_f64() * 1e3
-}
-
 fn bench_serve_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_throughput");
     group.bench_function("sequential", |b| b.iter(run_sequential));
@@ -143,12 +139,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     // Latency percentiles pooled over the three gate runs.
     let mut pooled: Vec<Duration> = serve_runs.iter().flat_map(|r| r.latencies.clone()).collect();
-    pooled.sort();
-    let (p50, p90, p99) = (
-        percentile_ms(&pooled, 50.0),
-        percentile_ms(&pooled, 90.0),
-        percentile_ms(&pooled, 99.0),
-    );
+    let (p50, p90, p99) = latency_percentiles_ms(&mut pooled);
     println!(
         "serve_throughput: {BATCH} jobs, sequential {seq_rate:.1} jobs/s vs 4 workers \
          {serve_rate:.1} jobs/s → {speedup:.2}x; latency p50 {p50:.1} ms, p90 {p90:.1} ms, \

@@ -1,0 +1,226 @@
+//! HTTP front-door throughput and latency (ISSUE 5 acceptance bench).
+//!
+//! Same workload as `serve_throughput` — 64 jobs, 50% transient faults,
+//! real (`ThreadSleeper`) 3–12 ms backoff — but every job now crosses a
+//! real TCP socket twice: submitted with `POST /v1/jobs` and collected
+//! with `GET /v1/jobs/{t}/wait` through the in-repo blocking client.
+//! The HTTP tax must not eat the serving engine's win: the gate fails
+//! unless the 4-worker engine behind the front door still sustains
+//! ≥ 2× the jobs/sec of a sequential inline `ResilientExecutor` loop
+//! over the same work. Latency percentiles (submit → wait completion,
+//! socket round trips included) go to `results/BENCH_transport.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnat_bench::stats::latency_percentiles_ms;
+use qnat_core::batch::{run_job, BatchJob};
+use qnat_core::executor::{splitmix64, ResilientExecutor, RetryPolicy, ThreadSleeper};
+use qnat_json::Json;
+use qnat_noise::backend::{BackendError, SimulatorBackend};
+use qnat_noise::fault::{FaultSpec, FaultyBackend};
+use qnat_serve::{Lane, ServeConfig, ServeEngine};
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+use qnat_transport::{TransportClient, TransportConfig, TransportServer};
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 64;
+const FAULT_RATE: f64 = 0.5;
+const SEED: u64 = 0xB47C;
+/// Concurrent `/wait` collectors — matches the front door's HTTP
+/// worker pool so waits never queue behind each other.
+const COLLECTORS: usize = 4;
+
+fn jobs() -> Vec<BatchJob> {
+    (0..BATCH)
+        .map(|k| {
+            let mut c = Circuit::new(2);
+            c.push(Gate::ry(0, 0.07 * k as f64 + 0.1));
+            c.push(Gate::cx(0, 1));
+            c.push(Gate::rz(1, 0.03 * k as f64));
+            BatchJob::exact(c)
+        })
+        .collect()
+}
+
+/// The throughput benches' standard fault model: flaky primary, clean
+/// fallback, real wall-clock backoff with small intervals.
+fn factory(_job: u64, seed: u64) -> Result<ResilientExecutor, BackendError> {
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff_ms: 3,
+        max_backoff_ms: 12,
+        ..RetryPolicy::default()
+    };
+    Ok(ResilientExecutor::with_fallback(
+        Box::new(FaultyBackend::new(
+            SimulatorBackend::new(seed),
+            FaultSpec::transient(FAULT_RATE, seed),
+        )),
+        Box::new(SimulatorBackend::new(seed ^ 0x5eed)),
+        policy,
+    )
+    .with_sleeper(Box::new(ThreadSleeper::default())))
+}
+
+/// The baseline the front door must beat: one fresh `ResilientExecutor`
+/// per job, executed inline on the caller's thread — no engine, no HTTP.
+fn run_sequential() -> Duration {
+    let jobs = jobs();
+    let start = Instant::now();
+    for (k, job) in jobs.iter().enumerate() {
+        let seed = splitmix64(SEED ^ splitmix64(k as u64));
+        let (result, report) = run_job(&factory, k as u64, seed, job, false, None);
+        assert!(result.is_ok(), "fallback absorbs exhausted retries");
+        black_box(report);
+    }
+    start.elapsed()
+}
+
+struct TransportRun {
+    elapsed: Duration,
+    /// Submit → `/wait` completion latency per ticket, ticket order.
+    latencies: Vec<Duration>,
+}
+
+fn run_transport(workers: usize) -> TransportRun {
+    let engine = ServeEngine::new(
+        ServeConfig {
+            workers,
+            seed: SEED,
+            ..ServeConfig::default()
+        },
+        factory,
+    );
+    let server = TransportServer::bind(
+        "127.0.0.1:0",
+        TransportConfig {
+            http_workers: COLLECTORS + 1,
+            request_deadline_ms: 120_000,
+            ..TransportConfig::default()
+        },
+        engine,
+    )
+    .expect("bind an ephemeral port");
+    let client = TransportClient::new(server.local_addr());
+
+    let start = Instant::now();
+    let mut submitted_at = Vec::with_capacity(BATCH);
+    for job in jobs() {
+        let t = client
+            .submit(&job, Lane::Interactive)
+            .expect("blocking lane accepts the batch");
+        assert_eq!(t as usize, submitted_at.len(), "tickets are dense");
+        submitted_at.push(Instant::now());
+    }
+
+    // Collect every ticket over concurrent `/wait` calls, striped so
+    // each collector owns tickets ≡ its index (mod COLLECTORS).
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..COLLECTORS)
+            .map(|c| {
+                let client = client.clone();
+                let submitted_at = &submitted_at;
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut t = c;
+                    while t < BATCH {
+                        let outcome = client
+                            .wait(t as u64)
+                            .expect("wait over TCP")
+                            .expect("engine knows the ticket");
+                        got.push((t, submitted_at[t].elapsed()));
+                        assert!(outcome.result.is_ok(), "fallback absorbs exhausted retries");
+                        t += COLLECTORS;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut latencies = vec![Duration::ZERO; BATCH];
+        for h in handles {
+            for (t, latency) in h.join().expect("collector thread") {
+                latencies[t] = latency;
+            }
+        }
+        latencies
+    });
+    let elapsed = start.elapsed();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, BATCH as u64);
+    TransportRun { elapsed, latencies }
+}
+
+fn bench_transport_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_throughput");
+    group.bench_function("sequential", |b| b.iter(run_sequential));
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| run_transport(workers).elapsed);
+            },
+        );
+    }
+    group.finish();
+
+    // Acceptance gate: 4 engine workers behind the HTTP front door
+    // sustain ≥ 2× the sequential jobs/sec on the standard 64-job /
+    // 50%-fault workload. Median of 3 to shrug off scheduler hiccups.
+    let median_of_3 = |mut runs: Vec<Duration>| {
+        runs.sort();
+        runs[1]
+    };
+    let sequential = median_of_3((0..3).map(|_| run_sequential()).collect());
+    let transport_runs: Vec<TransportRun> = (0..3).map(|_| run_transport(4)).collect();
+    let served = median_of_3(transport_runs.iter().map(|r| r.elapsed).collect());
+    let seq_rate = BATCH as f64 / sequential.as_secs_f64();
+    let transport_rate = BATCH as f64 / served.as_secs_f64();
+    let speedup = transport_rate / seq_rate;
+
+    // Latency percentiles pooled over the three gate runs.
+    let mut pooled: Vec<Duration> = transport_runs
+        .iter()
+        .flat_map(|r| r.latencies.clone())
+        .collect();
+    let (p50, p90, p99) = latency_percentiles_ms(&mut pooled);
+    println!(
+        "transport_throughput: {BATCH} jobs over TCP, sequential {seq_rate:.1} jobs/s vs \
+         4 workers {transport_rate:.1} jobs/s → {speedup:.2}x; latency p50 {p50:.1} ms, \
+         p90 {p90:.1} ms, p99 {p99:.1} ms"
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::Str("transport_throughput".into())),
+        ("jobs", Json::Num(BATCH as f64)),
+        ("fault_rate", Json::Num(FAULT_RATE)),
+        ("workers", Json::Num(4.0)),
+        ("collectors", Json::Num(COLLECTORS as f64)),
+        ("sequential_jobs_per_sec", Json::Num(seq_rate)),
+        ("transport_jobs_per_sec", Json::Num(transport_rate)),
+        ("speedup", Json::Num(speedup)),
+        (
+            "latency_ms",
+            Json::obj([
+                ("p50", Json::Num(p50)),
+                ("p90", Json::Num(p90)),
+                ("p99", Json::Num(p99)),
+            ]),
+        ),
+    ]);
+    // Anchor on the manifest dir: cargo runs benches from the package
+    // root, but the results belong next to the workspace's other outputs.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("BENCH_transport.json"), doc.to_json_pretty())
+        .expect("write results/BENCH_transport.json");
+
+    assert!(
+        speedup >= 2.0,
+        "the front door must sustain ≥ 2x sequential jobs/sec: got {speedup:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_transport_throughput);
+criterion_main!(benches);

@@ -2,8 +2,10 @@
 //!
 //! One binary per paper table/figure (see DESIGN.md §4) plus criterion
 //! performance benches. The shared four-arm ablation protocol lives in
-//! [`harness`].
+//! [`harness`]; the throughput benches' guarded latency percentiles live
+//! in [`stats`].
 
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod stats;

@@ -337,6 +337,16 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads 4 hex digits at byte offset `at` as a code unit.
+    fn hex4(&self, at: usize) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
     fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut s = String::new();
@@ -360,19 +370,48 @@ impl Parser<'_> {
                         Some(b'b') => s.push('\u{8}'),
                         Some(b'f') => s.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            s.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
-                            );
-                            self.pos += 4;
+                            let code = self.hex4(self.pos + 1)?;
+                            if (0xDC00..0xE000).contains(&code) {
+                                // A low surrogate with no preceding high
+                                // surrogate (covers inverted pairs too).
+                                return Err(self.err(format!(
+                                    "lone low surrogate \\u{code:04x} in string"
+                                )));
+                            }
+                            if (0xD800..0xDC00).contains(&code) {
+                                // UTF-16 surrogate pair: the high half must
+                                // be followed immediately by an escaped low
+                                // half, per RFC 8259 §7.
+                                if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 6) != Some(&b'u')
+                                {
+                                    return Err(self.err(format!(
+                                        "lone high surrogate \\u{code:04x} in string"
+                                    )));
+                                }
+                                let low = self.hex4(self.pos + 7)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err(format!(
+                                        "high surrogate \\u{code:04x} followed by \
+                                         non-low-surrogate \\u{low:04x}"
+                                    )));
+                                }
+                                let scalar =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                s.push(
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                                self.pos += 10;
+                            } else {
+                                // Non-surrogate BMP code points are always
+                                // valid chars.
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid \\u code point"))?,
+                                );
+                                self.pos += 4;
+                            }
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -450,6 +489,43 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["{not json", "[1, 2", "{\"a\": }", "1 2", "\"open", "{\"a\" 1}"] {
             assert!(Json::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn decodes_utf16_surrogate_pairs() {
+        // \ud83d\ude00 is U+1F600 GRINNING FACE, the issue's example.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        assert_eq!(
+            Json::parse(r#""\uD834\uDD1E""#).unwrap(),
+            Json::Str("\u{1D11E}".into()),
+            "uppercase hex, U+1D11E musical G clef"
+        );
+        // Surrogate pair embedded between BMP escapes and raw text.
+        assert_eq!(
+            Json::parse(r#""a\u00e9\ud83e\udd16b""#).unwrap(),
+            Json::Str("a\u{e9}\u{1F916}b".into())
+        );
+        // Raw (unescaped) astral-plane UTF-8 still parses too.
+        assert_eq!(Json::parse("\"😀\"").unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_lone_and_inverted_surrogates() {
+        for bad in [
+            r#""\ud800""#,          // lone high, end of string
+            r#""\ud83dx""#,         // lone high, raw text follows
+            r#""\ud83d\n""#,        // lone high, non-\u escape follows
+            r#""\ude00""#,          // lone low
+            r#""\ude00\ud83d""#,    // inverted pair
+            r#""\ud83d\ud83d""#,    // high followed by high
+            r#""\ud83dA""#,    // high followed by non-surrogate
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.reason.contains("surrogate"), "{bad}: {}", err.reason);
         }
     }
 

@@ -862,6 +862,48 @@ mod tests {
         assert_eq!((stats.shed_oldest, stats.completed), (1, 3));
     }
 
+    /// ISSUE 5 satellite: a `ShedOldest` eviction is *delivered*, not
+    /// merely recorded — subscribers see the evicted ticket complete
+    /// with `Overloaded` promptly (while the workers are still paused,
+    /// i.e. without waiting on any job to actually run), and the
+    /// outcome also remains available to `poll`/`wait` consumers.
+    #[test]
+    fn shed_oldest_eviction_reaches_subscribers_promptly() {
+        let engine = ServeEngine::new(
+            ServeConfig {
+                workers: 1,
+                interactive: LaneConfig::shedding(2),
+                ..config(1)
+            },
+            faulty_factory(0.0),
+        );
+        let rx = engine.subscribe();
+        engine.pause();
+        let t0 = engine.submit(job(0), Lane::Interactive).unwrap();
+        let _t1 = engine.submit(job(1), Lane::Interactive).unwrap();
+        let _t2 = engine.submit(job(2), Lane::Interactive).unwrap();
+        // The eviction is the only completion so far: with the workers
+        // paused, nothing else can possibly be delivered.
+        let (ticket, result) = rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("eviction is broadcast without waiting on a worker");
+        assert_eq!(ticket, t0);
+        assert!(matches!(result, Err(BackendError::Overloaded { .. })));
+        // The same outcome is still held for a poll/wait consumer.
+        match engine.poll(t0) {
+            Poll::Ready(outcome) => {
+                assert!(matches!(
+                    outcome.result,
+                    Err(BackendError::Overloaded { .. })
+                ));
+            }
+            other => panic!("evicted ticket should be Ready, got {other:?}"),
+        }
+        engine.resume();
+        let stats = engine.drain();
+        assert_eq!((stats.shed_oldest, stats.completed), (1, 3));
+    }
+
     #[test]
     fn reject_when_full_is_a_typed_error() {
         let engine = ServeEngine::new(

@@ -140,6 +140,22 @@ impl GateKind {
             Rzx => "rzx",
         }
     }
+
+    /// Every gate kind, in declaration order.
+    pub const ALL: [GateKind; 31] = {
+        use GateKind::*;
+        [
+            Id, X, Y, Z, H, SqrtH, S, Sdg, T, Tdg, Sx, Sxdg, Rx, Ry, Rz, P, U2, U3, Cx, Cy, Cz,
+            Crx, Cry, Crz, Cp, Cu3, Swap, SqrtSwap, Rzz, Rxx, Rzx,
+        ]
+    };
+
+    /// Inverse of [`GateKind::name`]: the kind for a lower-case mnemonic,
+    /// or `None` for an unknown name. Used by wire formats that ship
+    /// circuits as text.
+    pub fn from_name(name: &str) -> Option<GateKind> {
+        GateKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 /// The unitary matrix of a gate: 2×2 for single-qubit, 4×4 for two-qubit.
@@ -571,6 +587,15 @@ mod tests {
     use super::*;
     use crate::math::{mat2_is_unitary, mat2_mul, mat4_is_unitary, mat4_mul};
     use std::f64::consts::PI;
+
+    #[test]
+    fn from_name_inverts_name_for_every_kind() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_name(kind.name()), Some(kind), "{kind:?}");
+        }
+        assert_eq!(GateKind::from_name("nope"), None);
+        assert_eq!(GateKind::from_name("CX"), None, "names are lower-case");
+    }
 
     fn all_sample_gates() -> Vec<Gate> {
         vec![

@@ -1,0 +1,249 @@
+//! The in-repo blocking client: one TCP connection per request (the
+//! server closes after each response), typed decode of every payload.
+//!
+//! This is the client the `transport_e2e` test and the throughput bench
+//! drive — deliberately minimal, deliberately honest about failure: a
+//! non-2xx status comes back as [`ClientError::Status`] with the body
+//! preserved, so tests can assert the 429/503 contract.
+
+use crate::http::{read_response, write_request, HttpError, Response};
+use crate::wire::{self, WireError};
+use qnat_core::batch::BatchJob;
+use qnat_json::Json;
+use qnat_noise::backend::{BackendError, Measurements};
+use qnat_serve::engine::{JobOutcome, Lane, Ticket};
+use std::error::Error;
+use std::fmt;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, timeout, reset).
+    Io(std::io::Error),
+    /// The response was not valid HTTP.
+    Http(HttpError),
+    /// The response body did not decode as the expected payload.
+    Wire(WireError),
+    /// The server answered with a non-success status.
+    Status {
+        /// HTTP status code.
+        status: u16,
+        /// Response body, as text.
+        body: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client io error: {e}"),
+            ClientError::Http(e) => write!(f, "client http error: {e}"),
+            ClientError::Wire(e) => write!(f, "client decode error: {e}"),
+            ClientError::Status { status, body } => {
+                write!(f, "server answered {status}: {body}")
+            }
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Non-blocking view of a ticket, as `GET /v1/jobs/{ticket}` reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TicketStatus {
+    /// Still waiting in a lane.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished — outcome handed over (and consumed server-side).
+    Ready(JobOutcome),
+}
+
+/// One event off `GET /v1/stream`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEvent {
+    /// Which ticket completed.
+    pub ticket: Ticket,
+    /// Its result (evictions and fast-fails included).
+    pub result: Result<Measurements, BackendError>,
+}
+
+/// A blocking HTTP client for one front door.
+#[derive(Debug, Clone)]
+pub struct TransportClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl TransportClient {
+    /// A client for the server at `addr` with a 30 s per-call timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        TransportClient {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-call socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn call(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = stream.try_clone()?;
+        write_request(&mut writer, method, target, body)?;
+        let mut reader = BufReader::new(stream);
+        Ok(read_response(&mut reader)?)
+    }
+
+    fn expect_json(resp: &Response) -> Result<Json, ClientError> {
+        let text = resp.text()?;
+        if resp.status < 200 || resp.status >= 300 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: text.to_owned(),
+            });
+        }
+        Ok(Json::parse(text).map_err(WireError::from)?)
+    }
+
+    /// `POST /v1/jobs`: submits `job` on `lane`, returns its ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carries the 429/503 refusals.
+    pub fn submit(&self, job: &BatchJob, lane: Lane) -> Result<Ticket, ClientError> {
+        let body = wire::submit_request_to_json(job, lane).to_json();
+        let resp = self.call("POST", "/v1/jobs", body.as_bytes())?;
+        let v = Self::expect_json(&resp)?;
+        let ticket = v
+            .get("ticket")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| WireError {
+                reason: "submit response missing 'ticket'".into(),
+            })?;
+        Ok(ticket as Ticket)
+    }
+
+    /// `GET /v1/jobs/{ticket}`: non-blocking poll. `Ok(None)` for a
+    /// ticket the server does not know (404).
+    ///
+    /// A ready outcome is returned even when the server graded it 503/500
+    /// — the typed error is inside the outcome; the status code is the
+    /// HTTP-facing summary.
+    pub fn poll(&self, ticket: Ticket) -> Result<Option<TicketStatus>, ClientError> {
+        let resp = self.call("GET", &format!("/v1/jobs/{ticket}"), b"")?;
+        Self::decode_status(&resp)
+    }
+
+    /// `GET /v1/jobs/{ticket}/wait`: blocks server-side until the ticket
+    /// completes or the connection's deadline budget runs out (504).
+    pub fn wait(&self, ticket: Ticket) -> Result<Option<JobOutcome>, ClientError> {
+        let resp = self.call("GET", &format!("/v1/jobs/{ticket}/wait"), b"")?;
+        match Self::decode_status(&resp)? {
+            Some(TicketStatus::Ready(outcome)) => Ok(Some(outcome)),
+            Some(other) => Err(ClientError::Wire(WireError {
+                reason: format!("wait returned non-ready status {other:?}"),
+            })),
+            None => Ok(None),
+        }
+    }
+
+    fn decode_status(resp: &Response) -> Result<Option<TicketStatus>, ClientError> {
+        if resp.status == 404 {
+            return Ok(None);
+        }
+        let text = resp.text()?;
+        let v = Json::parse(text).map_err(WireError::from)?;
+        let Some(status) = v.get("status").and_then(Json::as_str) else {
+            // Not a ticket-status document — a timeout or error body.
+            return Err(if resp.status >= 400 {
+                ClientError::Status {
+                    status: resp.status,
+                    body: text.to_owned(),
+                }
+            } else {
+                ClientError::Wire(WireError {
+                    reason: "missing 'status'".into(),
+                })
+            });
+        };
+        match status {
+            "queued" => Ok(Some(TicketStatus::Queued)),
+            "running" => Ok(Some(TicketStatus::Running)),
+            "ready" => {
+                let outcome = v.get("outcome").ok_or_else(|| WireError {
+                    reason: "ready without 'outcome'".into(),
+                })?;
+                Ok(Some(TicketStatus::Ready(wire::outcome_from_json(outcome)?)))
+            }
+            _ if resp.status >= 400 => Err(ClientError::Status {
+                status: resp.status,
+                body: text.to_owned(),
+            }),
+            other => Err(ClientError::Wire(WireError {
+                reason: format!("unknown status '{other}'"),
+            })),
+        }
+    }
+
+    /// `GET /v1/stream?max=N`: collects `max` completion events off the
+    /// chunked feed (the server finishes the response after `max`).
+    pub fn stream(&self, max: usize) -> Result<Vec<StreamEvent>, ClientError> {
+        let resp = self.call("GET", &format!("/v1/stream?max={max}"), b"")?;
+        if resp.status != 200 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: resp.text().unwrap_or("").to_owned(),
+            });
+        }
+        let mut events = Vec::new();
+        for line in resp.text()?.lines().filter(|l| !l.trim().is_empty()) {
+            let v = Json::parse(line).map_err(WireError::from)?;
+            let ticket = v
+                .get("ticket")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| WireError {
+                    reason: "stream event missing 'ticket'".into(),
+                })? as Ticket;
+            let result = wire::result_from_json(v.get("result").ok_or_else(|| WireError {
+                reason: "stream event missing 'result'".into(),
+            })?)?;
+            events.push(StreamEvent { ticket, result });
+        }
+        Ok(events)
+    }
+
+    /// `GET /healthz`: the raw health document (lane depths, engine
+    /// counters, breaker states).
+    pub fn healthz(&self) -> Result<Json, ClientError> {
+        let resp = self.call("GET", "/healthz", b"")?;
+        Self::expect_json(&resp)
+    }
+}

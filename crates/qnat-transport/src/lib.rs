@@ -1,0 +1,34 @@
+//! # qnat-transport — HTTP front door for the serving engine
+//!
+//! The network edge of the deployment stack (DESIGN.md §11): a
+//! dependency-free HTTP/1.1 server over `std::net` that exposes a
+//! [`qnat_serve::engine::ServeEngine`] to remote callers, plus the
+//! blocking client the tests and benches drive.
+//!
+//! Layering:
+//!
+//! * [`wire`] — the `qnat-json` wire format. Lossless by construction:
+//!   full gate arrays, exact `f64`s, all eleven typed error variants —
+//!   which is what lets `tests/transport_e2e.rs` demand bitwise replay
+//!   parity between a served workload and the same jobs through
+//!   `deploy_batch`.
+//! * [`http`] — a minimal request/response/chunked codec over
+//!   `BufRead`/`Write`, with hard size limits.
+//! * [`server`] — the bounded accept/worker loop, route dispatch,
+//!   per-connection [`qnat_core::health::DeadlineBudget`] driving both
+//!   socket timeouts and the `/wait` poll pacing, graceful drain.
+//! * [`client`] — one-connection-per-request blocking client with typed
+//!   errors that preserve the 429/503 contract.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, StreamEvent, TicketStatus, TransportClient};
+pub use http::{HttpError, Request, Response};
+pub use server::{TransportConfig, TransportServer};
+pub use wire::WireError;

@@ -1,0 +1,516 @@
+//! The HTTP front door: a bounded accept/worker loop over one
+//! [`ServeEngine`].
+//!
+//! ## Endpoints
+//!
+//! | route | verb | behaviour |
+//! |---|---|---|
+//! | `/v1/jobs` | POST | submit `{job, lane}` → `{ticket}`; 400 bad JSON, 429 queue full, 503 shed/stopping |
+//! | `/v1/jobs/{ticket}` | GET | non-blocking poll; 200 ready, 202 queued/running, 404 unknown, 503 breaker/eviction |
+//! | `/v1/jobs/{ticket}/wait` | GET | block until ready, paced by a [`DeadlineSleeper`]; 504 on deadline |
+//! | `/v1/stream` | GET | chunked feed of every completion, from `subscribe` |
+//! | `/healthz` | GET | lane depths, engine counters, breaker states |
+//!
+//! ## Threading and shutdown
+//!
+//! One accept thread feeds a **bounded** `sync_channel` of connections;
+//! when the queue is full the accept thread itself blocks, which is the
+//! transport-level backpressure (the kernel listen backlog absorbs the
+//! burst). A fixed pool of HTTP workers drains the queue. Every
+//! connection gets a fresh [`DeadlineBudget`]: socket read/write
+//! timeouts are derived from its `remaining_ms`, and the `/wait` poll
+//! loop consumes it through a [`DeadlineSleeper`] — one budget bounds
+//! the whole request no matter where the time goes.
+//!
+//! [`TransportServer::shutdown`] is the graceful path: stop accepting,
+//! let the workers finish every queued connection, then drain the
+//! engine so in-flight tickets complete. Dropping the server instead
+//! discards queued engine jobs (the engine's `Drop` semantics).
+
+use crate::http::{
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, Request,
+};
+use crate::wire;
+use qnat_core::health::DeadlineBudget;
+use qnat_core::time::{DeadlineSleeper, Sleeper, ThreadSleeper};
+use qnat_json::Json;
+use qnat_serve::engine::{Lane, Poll, ServeEngine, Ticket};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-door tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// HTTP worker threads draining the accept queue (clamped to ≥ 1).
+    pub http_workers: usize,
+    /// Bounded accept-queue depth (clamped to ≥ 1); a full queue blocks
+    /// the accept thread.
+    pub accept_queue: usize,
+    /// Per-connection deadline budget in milliseconds: socket timeouts
+    /// and the `/wait` poll loop all draw from it.
+    pub request_deadline_ms: u64,
+    /// Interval between `/wait` polls, in milliseconds.
+    pub wait_poll_ms: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            http_workers: 4,
+            accept_queue: 64,
+            request_deadline_ms: 10_000,
+            wait_poll_ms: 2,
+        }
+    }
+}
+
+/// A running front door bound to a TCP address.
+pub struct TransportServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// `Some` until [`TransportServer::shutdown`] takes it to drain.
+    engine: Option<Arc<ServeEngine>>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl TransportServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept and worker threads over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: &str,
+        config: TransportConfig,
+        engine: ServeEngine,
+    ) -> io::Result<TransportServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::new(engine);
+
+        let (tx, rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break; // the shutdown poke lands here
+                }
+                let Ok(stream) = stream else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // tx drops here: workers drain what's queued, then exit.
+        });
+
+        let worker_handles = (0..config.http_workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let config = config.clone();
+                std::thread::spawn(move || loop {
+                    let conn = {
+                        let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &engine, &config, &stop),
+                        Err(_) => break, // accept loop gone and queue drained
+                    }
+                })
+            })
+            .collect();
+
+        Ok(TransportServer {
+            local_addr,
+            stop,
+            engine: Some(engine),
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the door (tests assert against its stats and
+    /// seeds).
+    pub fn engine(&self) -> &ServeEngine {
+        self.engine
+            .as_deref()
+            .expect("engine lives until shutdown takes it")
+    }
+
+    /// Graceful drain: stop accepting connections, finish every queued
+    /// HTTP request, then drain the engine so every in-flight ticket
+    /// completes. Returns the engine's final stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine handle still lives outside the server (the
+    /// server is the engine's owner by construction).
+    pub fn shutdown(mut self) -> qnat_serve::engine::EngineStats {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let arc = self.engine.take().expect("shutdown runs once");
+        let engine = Arc::try_unwrap(arc)
+            .unwrap_or_else(|_| panic!("transport server owns the only engine handle"));
+        engine.drain()
+    }
+}
+
+impl Drop for TransportServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // The engine drops with the server: queued jobs are discarded.
+    }
+}
+
+/// Applies the budget's remaining time as the socket's read/write
+/// timeouts; zero budget becomes the 1 ms floor (the next read then
+/// times out essentially immediately instead of never).
+fn arm_socket(stream: &TcpStream, budget: &DeadlineBudget) {
+    let left = Duration::from_millis(budget.remaining_ms().max(1));
+    let _ = stream.set_read_timeout(Some(left));
+    let _ = stream.set_write_timeout(Some(left));
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &Json) {
+    let _ = write_response(stream, status, &body.to_json());
+}
+
+fn error_body(kind: &str, message: impl Into<String>) -> Json {
+    Json::obj([
+        ("kind", Json::Str(kind.into())),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    config: &TransportConfig,
+    stop: &AtomicBool,
+) {
+    let budget = DeadlineBudget::new(config.request_deadline_ms);
+    arm_socket(&stream, &budget);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+
+    let request = match read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // peer closed without a request
+        Err(e) => {
+            let status = if e.timed_out { 408 } else { 400 };
+            respond(&mut stream, status, &error_body("bad_request", e.reason));
+            return;
+        }
+    };
+
+    match route(&request) {
+        Route::Submit => handle_submit(&mut stream, engine, &request),
+        Route::Poll(ticket) => handle_poll(&mut stream, engine, ticket),
+        Route::Wait(ticket) => handle_wait(&mut stream, engine, config, &budget, ticket),
+        Route::Stream => handle_stream(&mut stream, engine, &request, &budget, stop),
+        Route::Health => handle_health(&mut stream, engine, stop),
+        Route::MethodNotAllowed => respond(
+            &mut stream,
+            405,
+            &error_body("method_not_allowed", format!("{} {}", request.method, request.path)),
+        ),
+        Route::NotFound => respond(
+            &mut stream,
+            404,
+            &error_body("not_found", request.path.clone()),
+        ),
+    }
+}
+
+enum Route {
+    Submit,
+    Poll(Ticket),
+    Wait(Ticket),
+    Stream,
+    Health,
+    MethodNotAllowed,
+    NotFound,
+}
+
+fn route(req: &Request) -> Route {
+    let path = req.path.as_str();
+    match path {
+        "/v1/jobs" => {
+            return if req.method == "POST" {
+                Route::Submit
+            } else {
+                Route::MethodNotAllowed
+            };
+        }
+        "/v1/stream" => {
+            return if req.method == "GET" {
+                Route::Stream
+            } else {
+                Route::MethodNotAllowed
+            };
+        }
+        "/healthz" => {
+            return if req.method == "GET" {
+                Route::Health
+            } else {
+                Route::MethodNotAllowed
+            };
+        }
+        _ => {}
+    }
+    if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+        let (ticket_str, wait) = match rest.strip_suffix("/wait") {
+            Some(t) => (t, true),
+            None => (rest, false),
+        };
+        if let Ok(ticket) = ticket_str.parse::<Ticket>() {
+            return if req.method != "GET" {
+                Route::MethodNotAllowed
+            } else if wait {
+                Route::Wait(ticket)
+            } else {
+                Route::Poll(ticket)
+            };
+        }
+    }
+    Route::NotFound
+}
+
+fn handle_submit(stream: &mut TcpStream, engine: &ServeEngine, req: &Request) {
+    let parsed = wire::parse_body(&req.body).and_then(|v| wire::submit_request_from_json(&v));
+    let (job, lane) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            respond(stream, 400, &error_body("bad_request", e.reason));
+            return;
+        }
+    };
+    match engine.submit(job, lane) {
+        Ok(ticket) => respond(
+            stream,
+            200,
+            &Json::obj([
+                ("ticket", Json::Num(ticket as f64)),
+                ("lane", Json::Str(wire::lane_to_str(lane).into())),
+            ]),
+        ),
+        Err(e) => respond(
+            stream,
+            wire::submit_error_status(&e),
+            &wire::submit_error_to_json(&e),
+        ),
+    }
+}
+
+/// The `{status, outcome}` body and status code for a ready outcome:
+/// 200 for success, 503/500 by error class (see
+/// [`wire::backend_error_status`]).
+fn ready_response(outcome: &qnat_serve::engine::JobOutcome) -> (u16, Json) {
+    let status = match &outcome.result {
+        Ok(_) => 200,
+        Err(e) => wire::backend_error_status(e),
+    };
+    let body = Json::obj([
+        ("status", Json::Str("ready".into())),
+        ("outcome", wire::outcome_to_json(outcome)),
+    ]);
+    (status, body)
+}
+
+fn handle_poll(stream: &mut TcpStream, engine: &ServeEngine, ticket: Ticket) {
+    match engine.poll(ticket) {
+        Poll::Ready(outcome) => {
+            let (status, body) = ready_response(&outcome);
+            respond(stream, status, &body);
+        }
+        Poll::Queued => respond(
+            stream,
+            202,
+            &Json::obj([("status", Json::Str("queued".into()))]),
+        ),
+        Poll::Running => respond(
+            stream,
+            202,
+            &Json::obj([("status", Json::Str("running".into()))]),
+        ),
+        Poll::Unknown => respond(
+            stream,
+            404,
+            &Json::obj([("status", Json::Str("unknown".into()))]),
+        ),
+    }
+}
+
+/// Blocks until the ticket is ready, polling the engine through a
+/// [`DeadlineSleeper`] over the connection's budget: when the budget
+/// can no longer cover the next poll interval, the sleeper refuses and
+/// the request times out with 504.
+fn handle_wait(
+    stream: &mut TcpStream,
+    engine: &ServeEngine,
+    config: &TransportConfig,
+    budget: &DeadlineBudget,
+    ticket: Ticket,
+) {
+    let mut sleeper = DeadlineSleeper::new(Box::new(ThreadSleeper::default()), budget.clone());
+    loop {
+        match engine.poll(ticket) {
+            Poll::Ready(outcome) => {
+                arm_socket(stream, budget);
+                let (status, body) = ready_response(&outcome);
+                respond(stream, status, &body);
+                return;
+            }
+            Poll::Unknown => {
+                respond(
+                    stream,
+                    404,
+                    &Json::obj([("status", Json::Str("unknown".into()))]),
+                );
+                return;
+            }
+            Poll::Queued | Poll::Running => {
+                if !sleeper.try_sleep(config.wait_poll_ms.max(1)) {
+                    respond(
+                        stream,
+                        504,
+                        &error_body("deadline", format!("ticket {ticket} not ready in budget")),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Streams completions as chunked JSON lines. Ends when the requested
+/// `?max=N` completions were delivered, the engine disconnects, the
+/// server stops, or the connection budget runs out.
+fn handle_stream(
+    stream: &mut TcpStream,
+    engine: &ServeEngine,
+    req: &Request,
+    budget: &DeadlineBudget,
+    stop: &AtomicBool,
+) {
+    let max: Option<u64> = req.query_param("max").and_then(|v| v.parse().ok());
+    let rx = engine.subscribe();
+    // The stream outlives the per-request deadline by design: its writes
+    // should only fail when the client goes away, not mid-healthy-feed.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        budget.remaining_ms().max(1000),
+    )));
+    if write_chunked_head(stream, 200).is_err() {
+        return;
+    }
+    let mut sent = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) || max.is_some_and(|m| sent >= m) {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((ticket, result)) => {
+                let line = Json::obj([
+                    ("ticket", Json::Num(ticket as f64)),
+                    ("result", wire::result_to_json(&result)),
+                ])
+                .to_json();
+                if write_chunk(stream, &format!("{line}\n")).is_err() {
+                    return; // client hung up
+                }
+                sent += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !budget.try_consume(50) {
+                    break; // connection budget exhausted while idle
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = finish_chunks(stream);
+}
+
+fn handle_health(stream: &mut TcpStream, engine: &ServeEngine, stop: &AtomicBool) {
+    let stats = engine.stats();
+    let registry = engine.health_registry();
+    let breakers = wire::obj_from(registry.keys().into_iter().filter_map(|key| {
+        let snap = registry.snapshot(&key)?;
+        Some((
+            key,
+            Json::obj([
+                ("state", wire::breaker_state_to_json(&snap.state)),
+                ("trips", Json::Num(snap.trips as f64)),
+                ("recoveries", Json::Num(snap.recoveries as f64)),
+                ("short_circuited", Json::Num(snap.short_circuited as f64)),
+            ]),
+        ))
+    }));
+    let body = Json::obj([
+        (
+            "status",
+            Json::Str(if stop.load(Ordering::SeqCst) {
+                "draining".into()
+            } else {
+                "ok".into()
+            }),
+        ),
+        (
+            "lanes",
+            Json::obj([
+                (
+                    "interactive",
+                    Json::Num(engine.queue_depth(Lane::Interactive) as f64),
+                ),
+                ("bulk", Json::Num(engine.queue_depth(Lane::Bulk) as f64)),
+            ]),
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("submitted", Json::Num(stats.submitted as f64)),
+                ("completed", Json::Num(stats.completed as f64)),
+                ("rejected_full", Json::Num(stats.rejected_full as f64)),
+                ("shed_oldest", Json::Num(stats.shed_oldest as f64)),
+                ("shed_admission", Json::Num(stats.shed_admission as f64)),
+                ("fast_failed", Json::Num(stats.fast_failed as f64)),
+            ]),
+        ),
+        ("breakers", breakers),
+    ]);
+    let _ = write_response(stream, 200, &body.to_json());
+}

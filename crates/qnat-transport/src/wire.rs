@@ -1,0 +1,740 @@
+//! JSON wire format for the HTTP front door.
+//!
+//! Every payload that crosses the socket — jobs in, outcomes out — is
+//! encoded with `qnat-json`, whose exact `f64` round-trip is what lets
+//! the `transport_e2e` test demand *bitwise* replay parity between a
+//! served workload and the same jobs through `deploy_batch`. The codecs
+//! here are therefore deliberately lossless: a [`Gate`] travels with its
+//! meaningful qubit slots plus the full `params: [f64; 3]` array (the
+//! constructors' `usize::MAX` qubit padding is canonical and restored on
+//! decode), and all eleven [`BackendError`] variants keep their typed
+//! fields.
+//!
+//! Integers ride in JSON numbers (`f64`), which is exact up to 2⁵³ —
+//! far beyond any ticket, job index or backoff tally this stack
+//! produces.
+
+use qnat_core::executor::{ExecutionReport, FailureRecord};
+use qnat_core::health::BreakerState;
+use qnat_json::{Json, JsonError};
+use qnat_noise::backend::{BackendError, Measurements};
+use qnat_core::batch::BatchJob;
+use qnat_serve::engine::{JobOutcome, Lane, SubmitError};
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::{Gate, GateKind};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A payload failed to decode: syntactically valid JSON with the wrong
+/// shape, an unknown enum tag, an out-of-range number, or not JSON at
+/// all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// What was malformed, in request-diagnostic form.
+    pub reason: String,
+}
+
+impl WireError {
+    fn new(reason: impl Into<String>) -> Self {
+        WireError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.reason)
+    }
+}
+
+impl Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::new(e.to_string())
+    }
+}
+
+// ---- field accessors -------------------------------------------------
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    v.get(key)
+        .ok_or_else(|| WireError::new(format!("missing field '{key}'")))
+}
+
+fn num_of(v: &Json, what: &str) -> Result<f64, WireError> {
+    v.as_f64()
+        .ok_or_else(|| WireError::new(format!("'{what}' is not a number")))
+}
+
+fn uint_of(v: &Json, what: &str) -> Result<u64, WireError> {
+    let n = num_of(v, what)?;
+    if n < 0.0 || n.fract() != 0.0 || n > (1u64 << 53) as f64 {
+        return Err(WireError::new(format!(
+            "'{what}' is not a non-negative integer: {n}"
+        )));
+    }
+    Ok(n as u64)
+}
+
+fn uint(v: &Json, key: &str) -> Result<u64, WireError> {
+    uint_of(field(v, key)?, key)
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, WireError> {
+    Ok(uint(v, key)? as usize)
+}
+
+fn string(v: &Json, key: &str) -> Result<String, WireError> {
+    match field(v, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(WireError::new(format!("'{key}' is not a string"))),
+    }
+}
+
+fn boolean(v: &Json, key: &str) -> Result<bool, WireError> {
+    match field(v, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(WireError::new(format!("'{key}' is not a bool"))),
+    }
+}
+
+fn array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| WireError::new(format!("'{key}' is not an array")))
+}
+
+fn opt_usize(v: &Json, key: &str) -> Result<Option<usize>, WireError> {
+    match field(v, key)? {
+        Json::Null => Ok(None),
+        other => Ok(Some(uint_of(other, key)? as usize)),
+    }
+}
+
+// ---- circuits and jobs -----------------------------------------------
+
+/// Encodes a gate: the `arity()` meaningful qubit slots and the full
+/// `params: [f64; 3]` array. The constructors' `usize::MAX` padding on
+/// single-qubit gates is *canonical*, not data — the decoder restores
+/// it, so constructor-built gates round-trip bit-for-bit.
+pub fn gate_to_json(g: &Gate) -> Json {
+    Json::obj([
+        ("kind", Json::Str(g.kind.name().into())),
+        (
+            "qubits",
+            Json::Arr(
+                g.qubits
+                    .iter()
+                    .take(g.arity())
+                    .map(|&q| Json::Num(q as f64))
+                    .collect(),
+            ),
+        ),
+        ("params", Json::nums(g.params)),
+    ])
+}
+
+/// Decodes a gate; the kind tag must be a known OpenQASM mnemonic and
+/// the qubit array must match the kind's arity.
+pub fn gate_from_json(v: &Json) -> Result<Gate, WireError> {
+    let name = string(v, "kind")?;
+    let kind = GateKind::from_name(&name)
+        .ok_or_else(|| WireError::new(format!("unknown gate kind '{name}'")))?;
+    let qs = array(v, "qubits")?;
+    let ps = array(v, "params")?;
+    if qs.len() != kind.arity() {
+        return Err(WireError::new(format!(
+            "gate '{name}' needs {} qubits, got {}",
+            kind.arity(),
+            qs.len()
+        )));
+    }
+    if ps.len() != 3 {
+        return Err(WireError::new("gate params must have 3 slots"));
+    }
+    // Same padding the Gate constructors use for single-qubit gates.
+    let mut qubits = [usize::MAX; 2];
+    for (slot, q) in qs.iter().enumerate() {
+        qubits[slot] = uint_of(q, "qubits")? as usize;
+    }
+    let mut params = [0f64; 3];
+    for (slot, p) in ps.iter().enumerate() {
+        params[slot] = num_of(p, "params")?;
+    }
+    Ok(Gate {
+        kind,
+        qubits,
+        params,
+    })
+}
+
+/// Encodes a circuit.
+pub fn circuit_to_json(c: &Circuit) -> Json {
+    Json::obj([
+        ("n_qubits", Json::Num(c.n_qubits() as f64)),
+        ("gates", Json::Arr(c.gates().iter().map(gate_to_json).collect())),
+    ])
+}
+
+/// Decodes a circuit, re-validating every gate against the register.
+pub fn circuit_from_json(v: &Json) -> Result<Circuit, WireError> {
+    let n = usize_field(v, "n_qubits")?;
+    let mut c = Circuit::new(n);
+    for g in array(v, "gates")? {
+        let gate = gate_from_json(g)?;
+        c.try_push(gate)
+            .map_err(|e| WireError::new(e.to_string()))?;
+    }
+    Ok(c)
+}
+
+/// Encodes a batch job (circuit plus optional shot budget).
+pub fn job_to_json(job: &BatchJob) -> Json {
+    Json::obj([
+        ("circuit", circuit_to_json(&job.circuit)),
+        (
+            "shots",
+            job.shots.map_or(Json::Null, |s| Json::Num(s as f64)),
+        ),
+    ])
+}
+
+/// Decodes a batch job.
+pub fn job_from_json(v: &Json) -> Result<BatchJob, WireError> {
+    Ok(BatchJob {
+        circuit: circuit_from_json(field(v, "circuit")?)?,
+        shots: opt_usize(v, "shots")?,
+    })
+}
+
+/// Lane tag on the wire.
+pub fn lane_to_str(lane: Lane) -> &'static str {
+    match lane {
+        Lane::Interactive => "interactive",
+        Lane::Bulk => "bulk",
+    }
+}
+
+/// Decodes a lane tag.
+pub fn lane_from_str(s: &str) -> Result<Lane, WireError> {
+    match s {
+        "interactive" => Ok(Lane::Interactive),
+        "bulk" => Ok(Lane::Bulk),
+        other => Err(WireError::new(format!("unknown lane '{other}'"))),
+    }
+}
+
+// ---- results ---------------------------------------------------------
+
+/// Encodes measurements; expectations survive bit-for-bit thanks to
+/// `qnat-json`'s exact `f64` round-trip.
+pub fn measurements_to_json(m: &Measurements) -> Json {
+    Json::obj([
+        ("expectations", Json::nums(m.expectations.iter().copied())),
+        (
+            "shots_used",
+            m.shots_used.map_or(Json::Null, |s| Json::Num(s as f64)),
+        ),
+    ])
+}
+
+/// Decodes measurements.
+pub fn measurements_from_json(v: &Json) -> Result<Measurements, WireError> {
+    let mut expectations = Vec::new();
+    for e in array(v, "expectations")? {
+        expectations.push(num_of(e, "expectations")?);
+    }
+    Ok(Measurements {
+        expectations,
+        shots_used: opt_usize(v, "shots_used")?,
+    })
+}
+
+/// Encodes a typed backend error, preserving every field of all eleven
+/// variants.
+pub fn error_to_json(e: &BackendError) -> Json {
+    match e {
+        BackendError::QubitCount {
+            needed,
+            available,
+            backend,
+        } => Json::obj([
+            ("kind", Json::Str("qubit_count".into())),
+            ("needed", Json::Num(*needed as f64)),
+            ("available", Json::Num(*available as f64)),
+            ("backend", Json::Str(backend.clone())),
+        ]),
+        BackendError::UnmappedTwoQubitGate { gate_index, a, b } => Json::obj([
+            ("kind", Json::Str("unmapped_two_qubit_gate".into())),
+            ("gate_index", Json::Num(*gate_index as f64)),
+            ("a", Json::Num(*a as f64)),
+            ("b", Json::Num(*b as f64)),
+        ]),
+        BackendError::NonFiniteParameter { gate_index, slot } => Json::obj([
+            ("kind", Json::Str("non_finite_parameter".into())),
+            ("gate_index", Json::Num(*gate_index as f64)),
+            ("slot", Json::Num(*slot as f64)),
+        ]),
+        BackendError::ShotBudget { requested } => Json::obj([
+            ("kind", Json::Str("shot_budget".into())),
+            ("requested", Json::Num(*requested as f64)),
+        ]),
+        BackendError::InvalidChannel { reason } => Json::obj([
+            ("kind", Json::Str("invalid_channel".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+        BackendError::InvalidConfig { reason } => Json::obj([
+            ("kind", Json::Str("invalid_config".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+        BackendError::TransientFailure { job, reason } => Json::obj([
+            ("kind", Json::Str("transient_failure".into())),
+            ("job", Json::Num(*job as f64)),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+        BackendError::QueueTimeout { job, waited_ms } => Json::obj([
+            ("kind", Json::Str("queue_timeout".into())),
+            ("job", Json::Num(*job as f64)),
+            ("waited_ms", Json::Num(*waited_ms as f64)),
+        ]),
+        BackendError::DeadlineExceeded { job, needed_ms } => Json::obj([
+            ("kind", Json::Str("deadline_exceeded".into())),
+            ("job", Json::Num(*job as f64)),
+            ("needed_ms", Json::Num(*needed_ms as f64)),
+        ]),
+        BackendError::CircuitOpen { backend } => Json::obj([
+            ("kind", Json::Str("circuit_open".into())),
+            ("backend", Json::Str(backend.clone())),
+        ]),
+        BackendError::Overloaded { reason } => Json::obj([
+            ("kind", Json::Str("overloaded".into())),
+            ("reason", Json::Str(reason.clone())),
+        ]),
+    }
+}
+
+/// Decodes a typed backend error.
+pub fn error_from_json(v: &Json) -> Result<BackendError, WireError> {
+    let kind = string(v, "kind")?;
+    match kind.as_str() {
+        "qubit_count" => Ok(BackendError::QubitCount {
+            needed: usize_field(v, "needed")?,
+            available: usize_field(v, "available")?,
+            backend: string(v, "backend")?,
+        }),
+        "unmapped_two_qubit_gate" => Ok(BackendError::UnmappedTwoQubitGate {
+            gate_index: usize_field(v, "gate_index")?,
+            a: usize_field(v, "a")?,
+            b: usize_field(v, "b")?,
+        }),
+        "non_finite_parameter" => Ok(BackendError::NonFiniteParameter {
+            gate_index: usize_field(v, "gate_index")?,
+            slot: usize_field(v, "slot")?,
+        }),
+        "shot_budget" => Ok(BackendError::ShotBudget {
+            requested: usize_field(v, "requested")?,
+        }),
+        "invalid_channel" => Ok(BackendError::InvalidChannel {
+            reason: string(v, "reason")?,
+        }),
+        "invalid_config" => Ok(BackendError::InvalidConfig {
+            reason: string(v, "reason")?,
+        }),
+        "transient_failure" => Ok(BackendError::TransientFailure {
+            job: uint(v, "job")?,
+            reason: string(v, "reason")?,
+        }),
+        "queue_timeout" => Ok(BackendError::QueueTimeout {
+            job: uint(v, "job")?,
+            waited_ms: uint(v, "waited_ms")?,
+        }),
+        "deadline_exceeded" => Ok(BackendError::DeadlineExceeded {
+            job: uint(v, "job")?,
+            needed_ms: uint(v, "needed_ms")?,
+        }),
+        "circuit_open" => Ok(BackendError::CircuitOpen {
+            backend: string(v, "backend")?,
+        }),
+        "overloaded" => Ok(BackendError::Overloaded {
+            reason: string(v, "reason")?,
+        }),
+        other => Err(WireError::new(format!("unknown error kind '{other}'"))),
+    }
+}
+
+fn failure_to_json(f: &FailureRecord) -> Json {
+    Json::obj([
+        ("job", Json::Num(f.job as f64)),
+        ("attempt", Json::Num(f.attempt as f64)),
+        ("error", error_to_json(&f.error)),
+    ])
+}
+
+fn failure_from_json(v: &Json) -> Result<FailureRecord, WireError> {
+    Ok(FailureRecord {
+        job: uint(v, "job")?,
+        attempt: usize_field(v, "attempt")?,
+        error: error_from_json(field(v, "error")?)?,
+    })
+}
+
+/// Encodes an execution report, every counter and failure record intact.
+pub fn report_to_json(r: &ExecutionReport) -> Json {
+    Json::obj([
+        ("jobs", Json::Num(r.jobs as f64)),
+        ("attempts", Json::Num(r.attempts as f64)),
+        ("retries", Json::Num(r.retries as f64)),
+        ("fallback_jobs", Json::Num(r.fallback_jobs as f64)),
+        (
+            "short_circuited_jobs",
+            Json::Num(r.short_circuited_jobs as f64),
+        ),
+        ("fast_failed_jobs", Json::Num(r.fast_failed_jobs as f64)),
+        (
+            "deadline_exceeded_jobs",
+            Json::Num(r.deadline_exceeded_jobs as f64),
+        ),
+        ("degraded", Json::Bool(r.degraded)),
+        ("total_backoff_ms", Json::Num(r.total_backoff_ms as f64)),
+        ("shot_shortfall", Json::Num(r.shot_shortfall as f64)),
+        (
+            "failures",
+            Json::Arr(r.failures.iter().map(failure_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes an execution report.
+pub fn report_from_json(v: &Json) -> Result<ExecutionReport, WireError> {
+    let mut failures = Vec::new();
+    for f in array(v, "failures")? {
+        failures.push(failure_from_json(f)?);
+    }
+    Ok(ExecutionReport {
+        jobs: usize_field(v, "jobs")?,
+        attempts: usize_field(v, "attempts")?,
+        retries: usize_field(v, "retries")?,
+        fallback_jobs: usize_field(v, "fallback_jobs")?,
+        short_circuited_jobs: usize_field(v, "short_circuited_jobs")?,
+        fast_failed_jobs: usize_field(v, "fast_failed_jobs")?,
+        deadline_exceeded_jobs: usize_field(v, "deadline_exceeded_jobs")?,
+        degraded: boolean(v, "degraded")?,
+        total_backoff_ms: uint(v, "total_backoff_ms")?,
+        shot_shortfall: usize_field(v, "shot_shortfall")?,
+        failures,
+    })
+}
+
+/// Encodes a job result (ok measurements or typed error).
+pub fn result_to_json(r: &Result<Measurements, BackendError>) -> Json {
+    match r {
+        Ok(m) => Json::obj([("ok", measurements_to_json(m))]),
+        Err(e) => Json::obj([("err", error_to_json(e))]),
+    }
+}
+
+/// Decodes a job result.
+pub fn result_from_json(v: &Json) -> Result<Result<Measurements, BackendError>, WireError> {
+    if let Some(ok) = v.get("ok") {
+        return Ok(Ok(measurements_from_json(ok)?));
+    }
+    if let Some(err) = v.get("err") {
+        return Ok(Err(error_from_json(err)?));
+    }
+    Err(WireError::new("result has neither 'ok' nor 'err'"))
+}
+
+/// Encodes a finished job's full outcome.
+pub fn outcome_to_json(o: &JobOutcome) -> Json {
+    Json::obj([
+        ("result", result_to_json(&o.result)),
+        ("report", report_to_json(&o.report)),
+    ])
+}
+
+/// Decodes a finished job's full outcome.
+pub fn outcome_from_json(v: &Json) -> Result<JobOutcome, WireError> {
+    Ok(JobOutcome {
+        result: result_from_json(field(v, "result")?)?,
+        report: report_from_json(field(v, "report")?)?,
+    })
+}
+
+// ---- requests and status mapping -------------------------------------
+
+/// Builds the `POST /v1/jobs` request body.
+pub fn submit_request_to_json(job: &BatchJob, lane: Lane) -> Json {
+    Json::obj([
+        ("job", job_to_json(job)),
+        ("lane", Json::Str(lane_to_str(lane).into())),
+    ])
+}
+
+/// Decodes the `POST /v1/jobs` request body.
+pub fn submit_request_from_json(v: &Json) -> Result<(BatchJob, Lane), WireError> {
+    let job = job_from_json(field(v, "job")?)?;
+    let lane = lane_from_str(&string(v, "lane")?)?;
+    Ok((job, lane))
+}
+
+/// Parses a request body held as raw bytes into a JSON value.
+pub fn parse_body(body: &[u8]) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| WireError::new("request body is not UTF-8"))?;
+    Ok(Json::parse(text)?)
+}
+
+/// HTTP status a refused submission maps to:
+/// [`SubmitError::QueueFull`] → 429 (back off and retry), everything
+/// else (shed by admission, engine stopping) → 503.
+pub fn submit_error_status(e: &SubmitError) -> u16 {
+    match e {
+        SubmitError::QueueFull { .. } => 429,
+        SubmitError::Shed { .. } | SubmitError::Stopping => 503,
+    }
+}
+
+/// Encodes a refused submission.
+pub fn submit_error_to_json(e: &SubmitError) -> Json {
+    let (kind, fields): (&str, Vec<(&'static str, Json)>) = match e {
+        SubmitError::QueueFull { lane, capacity } => (
+            "queue_full",
+            vec![
+                ("lane", Json::Str(lane_to_str(*lane).into())),
+                ("capacity", Json::Num(*capacity as f64)),
+            ],
+        ),
+        SubmitError::Shed { backend } => {
+            ("shed", vec![("backend", Json::Str(backend.clone()))])
+        }
+        SubmitError::Stopping => ("stopping", vec![]),
+    };
+    let mut pairs = vec![
+        ("kind", Json::Str(kind.into())),
+        ("message", Json::Str(e.to_string())),
+    ];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// HTTP status a *completed-but-failed* job maps to when its outcome is
+/// served: breaker fast-fails and load-shedding evictions are the
+/// service's fault (503, retry later); every other typed error is a
+/// terminal job failure (500).
+pub fn backend_error_status(e: &BackendError) -> u16 {
+    match e {
+        BackendError::CircuitOpen { .. } | BackendError::Overloaded { .. } => 503,
+        _ => 500,
+    }
+}
+
+/// Renders a breaker state for `/healthz`.
+pub fn breaker_state_to_json(state: &BreakerState) -> Json {
+    match state {
+        BreakerState::Closed => Json::obj([("state", Json::Str("closed".into()))]),
+        BreakerState::Open { cooldown_left } => Json::obj([
+            ("state", Json::Str("open".into())),
+            ("cooldown_left", Json::Num(*cooldown_left as f64)),
+        ]),
+        BreakerState::HalfOpen => Json::obj([("state", Json::Str("half_open".into()))]),
+    }
+}
+
+/// Convenience: an object from owned-key pairs (healthz breaker maps).
+pub fn obj_from(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().collect::<BTreeMap<_, _>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(e: BackendError) {
+        let json = error_to_json(&e);
+        let text = json.to_json();
+        let back = error_from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn every_backend_error_variant_round_trips() {
+        roundtrip_error(BackendError::QubitCount {
+            needed: 9,
+            available: 4,
+            backend: "emulator".into(),
+        });
+        roundtrip_error(BackendError::UnmappedTwoQubitGate {
+            gate_index: 3,
+            a: 0,
+            b: 2,
+        });
+        roundtrip_error(BackendError::NonFiniteParameter {
+            gate_index: 1,
+            slot: 2,
+        });
+        roundtrip_error(BackendError::ShotBudget { requested: 0 });
+        roundtrip_error(BackendError::InvalidChannel {
+            reason: "p=1.5".into(),
+        });
+        roundtrip_error(BackendError::InvalidConfig {
+            reason: "zero trajectories".into(),
+        });
+        roundtrip_error(BackendError::TransientFailure {
+            job: 17,
+            reason: "calibration run".into(),
+        });
+        roundtrip_error(BackendError::QueueTimeout {
+            job: 5,
+            waited_ms: 1200,
+        });
+        roundtrip_error(BackendError::DeadlineExceeded {
+            job: 8,
+            needed_ms: 64,
+        });
+        roundtrip_error(BackendError::CircuitOpen {
+            backend: "qpu-a".into(),
+        });
+        roundtrip_error(BackendError::Overloaded {
+            reason: "interactive lane shed".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_error_kind_is_a_typed_decode_error() {
+        let v = Json::parse(r#"{"kind":"melted"}"#).expect("parse");
+        let err = error_from_json(&v).expect_err("unknown kind");
+        assert!(err.reason.contains("melted"));
+    }
+
+    #[test]
+    fn job_round_trips_with_full_gate_arrays() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::ry(1, 0.1 + 0.2)); // 0.30000000000000004 — exact f64
+        c.push(Gate::cx(0, 2));
+        c.push(Gate::u3(2, 0.5, -1.25, 3.75));
+        let job = BatchJob {
+            circuit: c,
+            shots: Some(512),
+        };
+        let back =
+            job_from_json(&Json::parse(&job_to_json(&job).to_json()).expect("parse"))
+                .expect("decode");
+        assert_eq!(back.circuit.gates(), job.circuit.gates());
+        assert_eq!(back.circuit.n_qubits(), 3);
+        assert_eq!(back.shots, Some(512));
+
+        let exact = BatchJob::exact(Circuit::new(1));
+        let back = job_from_json(&Json::parse(&job_to_json(&exact).to_json()).expect("parse"))
+            .expect("decode");
+        assert_eq!(back.shots, None);
+    }
+
+    #[test]
+    fn malformed_job_is_rejected_not_panicked() {
+        for bad in [
+            r#"{"circuit":{"n_qubits":1,"gates":[{"kind":"zz","qubits":[0,0],"params":[0,0,0]}]},"shots":null}"#,
+            r#"{"circuit":{"n_qubits":1,"gates":[{"kind":"cx","qubits":[0,1],"params":[0,0,0]}]},"shots":null}"#,
+            r#"{"circuit":{"n_qubits":1,"gates":[]},"shots":-3}"#,
+            r#"{"circuit":{"n_qubits":1,"gates":[]}}"#,
+        ] {
+            let v = Json::parse(bad).expect("syntactically valid");
+            assert!(job_from_json(&v).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_bitwise() {
+        let outcome = JobOutcome {
+            result: Ok(Measurements {
+                expectations: vec![0.1 + 0.2, -1.0 / 3.0, f64::MIN_POSITIVE],
+                shots_used: Some(100),
+            }),
+            report: ExecutionReport {
+                jobs: 1,
+                attempts: 3,
+                retries: 2,
+                fallback_jobs: 1,
+                short_circuited_jobs: 0,
+                fast_failed_jobs: 0,
+                deadline_exceeded_jobs: 0,
+                degraded: true,
+                total_backoff_ms: 17,
+                shot_shortfall: 4,
+                failures: vec![FailureRecord {
+                    job: 0,
+                    attempt: 1,
+                    error: BackendError::TransientFailure {
+                        job: 0,
+                        reason: "blip".into(),
+                    },
+                }],
+            },
+        };
+        let back = outcome_from_json(
+            &Json::parse(&outcome_to_json(&outcome).to_json()).expect("parse"),
+        )
+        .expect("decode");
+        assert_eq!(back, outcome);
+
+        let failed = JobOutcome {
+            result: Err(BackendError::Overloaded {
+                reason: "evicted".into(),
+            }),
+            report: ExecutionReport::default(),
+        };
+        let back = outcome_from_json(
+            &Json::parse(&outcome_to_json(&failed).to_json()).expect("parse"),
+        )
+        .expect("decode");
+        assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn submit_request_round_trips_both_lanes() {
+        for lane in [Lane::Interactive, Lane::Bulk] {
+            let job = BatchJob::exact(Circuit::new(2));
+            let v = Json::parse(&submit_request_to_json(&job, lane).to_json()).expect("parse");
+            let (back_job, back_lane) = submit_request_from_json(&v).expect("decode");
+            assert_eq!(back_lane, lane);
+            assert_eq!(back_job.circuit.n_qubits(), 2);
+        }
+    }
+
+    #[test]
+    fn status_mapping_matches_the_contract() {
+        assert_eq!(
+            submit_error_status(&SubmitError::QueueFull {
+                lane: Lane::Bulk,
+                capacity: 4
+            }),
+            429
+        );
+        assert_eq!(
+            submit_error_status(&SubmitError::Shed {
+                backend: "qpu".into()
+            }),
+            503
+        );
+        assert_eq!(submit_error_status(&SubmitError::Stopping), 503);
+        assert_eq!(
+            backend_error_status(&BackendError::CircuitOpen {
+                backend: "qpu".into()
+            }),
+            503
+        );
+        assert_eq!(
+            backend_error_status(&BackendError::Overloaded {
+                reason: "shed".into()
+            }),
+            503
+        );
+        assert_eq!(
+            backend_error_status(&BackendError::ShotBudget { requested: 0 }),
+            500
+        );
+    }
+}

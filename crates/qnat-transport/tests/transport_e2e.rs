@@ -1,0 +1,416 @@
+//! End-to-end acceptance tests for the HTTP front door (ISSUE 5): the
+//! replay-parity contract over a real TCP socket, the 429/503/504
+//! status mapping, the chunked completion stream, `/healthz`, and
+//! graceful drain.
+
+use qnat_core::batch::BatchJob;
+use qnat_core::executor::{splitmix64, ResilientExecutor, RetryPolicy};
+use qnat_core::infer::{infer, InferenceBackend, InferenceOptions};
+use qnat_core::model::{Qnn, QnnConfig};
+use qnat_json::Json;
+use qnat_noise::backend::{
+    BackendError, EmulatorBackend, NoiseModelBackend, QuantumBackend, SimulatorBackend,
+};
+use qnat_noise::fault::{FaultSpec, FaultyBackend};
+use qnat_noise::presets;
+use qnat_serve::engine::{Lane, LaneConfig, ServeConfig, ServeEngine};
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+use qnat_transport::{ClientError, TicketStatus, TransportClient, TransportConfig, TransportServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn simple_job(k: usize) -> BatchJob {
+    let mut c = Circuit::new(2);
+    c.push(Gate::ry(0, 0.1 + 0.05 * k as f64));
+    c.push(Gate::cx(0, 1));
+    BatchJob::exact(c)
+}
+
+fn clean_factory() -> impl Fn(u64, u64) -> Result<ResilientExecutor, BackendError> + Send + Sync
+{
+    |_job, seed| {
+        Ok(ResilientExecutor::new(
+            Box::new(SimulatorBackend::new(seed)),
+            RetryPolicy::default(),
+        ))
+    }
+}
+
+fn serve(config: ServeConfig, transport: TransportConfig) -> (TransportServer, TransportClient) {
+    let engine = ServeEngine::new(config, clean_factory());
+    let server = TransportServer::bind("127.0.0.1:0", transport, engine).expect("bind");
+    let client = TransportClient::new(server.local_addr());
+    (server, client)
+}
+
+/// ISSUE 5 acceptance: a workload served over a real TCP socket is
+/// bitwise identical — measurements, obs-mapped block outputs and the
+/// ticket-order-merged execution report — to the same jobs through a
+/// fresh `deploy_batch` deployment. The transport engine's per-job
+/// seeds follow the shared formula
+/// `splitmix64(engine_seed ^ splitmix64(ticket))` with the engine seed
+/// equal to block 0's batch pool seed, so ticket `t` replays batch job
+/// `t` exactly; the JSON wire format's exact `f64` round-trip carries
+/// the equality across the socket.
+#[test]
+fn served_workload_bitwise_matches_deploy_batch() {
+    let device = presets::santiago();
+    let qnn = Qnn::for_device(QnnConfig::standard(16, 4, 1, 2), &device, 7)
+        .expect("santiago fits the single-block model");
+    let batch: Vec<Vec<f64>> = (0..24)
+        .map(|k| (0..16).map(|j| ((k * 16 + j) as f64 * 0.013).sin()).collect())
+        .collect();
+    let spec = FaultSpec::transient(0.5, 99);
+    let policy = RetryPolicy::default();
+    let seed = 11u64;
+
+    // Reference: the whole batch through the pooled deployment.
+    let pooled = qnn
+        .deploy_batch(&device, 2, policy.clone(), Some(spec), 4, seed)
+        .expect("batch deploy");
+    let mut rng = StdRng::seed_from_u64(0);
+    let via_batch = infer(
+        &qnn,
+        &batch,
+        &InferenceBackend::Batch(&pooled),
+        &InferenceOptions::default(),
+        &mut rng,
+    )
+    .expect("batch inference");
+
+    // Transport side: one engine for block 0, built with the same
+    // routed plan and the same per-job factory `deploy_batch` uses
+    // (emulator primary, fault decorator positioned at the job index,
+    // noise-model fallback, jitter decorrelated per job).
+    let plans = qnn.route_plan(&device, 2).expect("route");
+    let plan = &plans[0];
+    let view = plan.view.clone();
+    let factory_policy = policy.clone();
+    let factory = move |job: u64, job_seed: u64| -> Result<ResilientExecutor, BackendError> {
+        let emulator = EmulatorBackend::new(&view, job_seed)?;
+        let primary: Box<dyn QuantumBackend> = Box::new(FaultyBackend::starting_at(
+            emulator,
+            FaultSpec {
+                seed: spec.seed ^ job_seed,
+                ..spec
+            },
+            job,
+        ));
+        let fallback = NoiseModelBackend::new(&view, job_seed ^ 0x5eed)?;
+        Ok(ResilientExecutor::with_fallback(
+            primary,
+            Box::new(fallback),
+            RetryPolicy {
+                jitter_seed: factory_policy.jitter_seed ^ job_seed,
+                ..factory_policy.clone()
+            },
+        ))
+    };
+    // Block 0's batch pool seed — tickets then replay job indices.
+    let engine_seed = splitmix64(seed ^ 0u64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let engine = ServeEngine::new(
+        ServeConfig {
+            workers: 4,
+            seed: engine_seed,
+            ..ServeConfig::default()
+        },
+        factory,
+    );
+    let server =
+        TransportServer::bind("127.0.0.1:0", TransportConfig::default(), engine).expect("bind");
+    let client = TransportClient::new(server.local_addr());
+
+    // The exact jobs `eval_block_batch` builds for block 0.
+    let block = &qnn.blocks()[0];
+    let jobs: Vec<BatchJob> = batch
+        .iter()
+        .map(|row| {
+            let mut params = block.encoder.angles(row);
+            params.extend_from_slice(qnn.block_params(0));
+            BatchJob {
+                circuit: plan.lowered.bind(&params),
+                shots: None,
+            }
+        })
+        .collect();
+
+    let tickets: Vec<u64> = jobs
+        .iter()
+        .map(|job| client.submit(job, Lane::Interactive).expect("submit over TCP"))
+        .collect();
+    assert_eq!(
+        tickets,
+        (0..batch.len() as u64).collect::<Vec<_>>(),
+        "tickets are dense job indices"
+    );
+
+    let mut merged = qnat_core::executor::ExecutionReport::default();
+    let mut outputs = Vec::with_capacity(batch.len());
+    for &t in &tickets {
+        let outcome = client
+            .wait(t)
+            .expect("wait over TCP")
+            .expect("engine knows the ticket");
+        let m = outcome.result.expect("fallback absorbs exhausted retries");
+        outputs.push(
+            plan.obs
+                .iter()
+                .map(|&w| m.expectations[w])
+                .collect::<Vec<f64>>(),
+        );
+        merged.merge(&outcome.report);
+    }
+
+    // Bitwise: f64 expectations compared by exact equality, after a
+    // full JSON encode → TCP → parse round trip.
+    assert_eq!(via_batch.block_outputs[0], outputs);
+    assert_eq!(via_batch.report, Some(merged));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, batch.len() as u64);
+    assert_eq!(stats.completed, batch.len() as u64);
+}
+
+/// `SubmitError::QueueFull` surfaces as 429 with the typed body.
+#[test]
+fn full_rejecting_lane_is_429() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            interactive: LaneConfig::rejecting(2),
+            seed: 1,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+    client.submit(&simple_job(0), Lane::Interactive).expect("fits");
+    client.submit(&simple_job(1), Lane::Interactive).expect("fits");
+    let refused = client.submit(&simple_job(2), Lane::Interactive);
+    match refused {
+        Err(ClientError::Status { status, body }) => {
+            assert_eq!(status, 429);
+            assert!(body.contains("queue_full"), "typed body: {body}");
+        }
+        other => panic!("expected a 429 refusal, got {other:?}"),
+    }
+    server.engine().resume();
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_full, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+/// ISSUE 5 satellite: a `ShedOldest` eviction completes the victim
+/// ticket with `BackendError::Overloaded`, and the transport surfaces
+/// that outcome as 503 on both poll and wait.
+#[test]
+fn shed_oldest_eviction_surfaces_as_503() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            interactive: LaneConfig::shedding(2),
+            seed: 2,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+    let t0 = client.submit(&simple_job(0), Lane::Interactive).expect("fits");
+    let t1 = client.submit(&simple_job(1), Lane::Interactive).expect("fits");
+    let t2 = client.submit(&simple_job(2), Lane::Interactive).expect("evicts t0");
+
+    // On the wire, the evicted ticket's ready outcome is graded 503 with
+    // the typed error in the body — for both poll and wait.
+    let raw_get = |target: String| -> (u16, String) {
+        use std::io::{BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\n\r\n").as_bytes())
+            .expect("request");
+        let resp =
+            qnat_transport::http::read_response(&mut BufReader::new(stream)).expect("response");
+        let body = resp.text().expect("utf8").to_owned();
+        (resp.status, body)
+    };
+    let (status, body) = raw_get(format!("/v1/jobs/{t0}"));
+    assert_eq!(status, 503, "poll of an evicted ticket: {body}");
+    assert!(body.contains("overloaded"), "typed body: {body}");
+
+    client.submit(&simple_job(3), Lane::Interactive).expect("evicts t1");
+    let (status, body) = raw_get(format!("/v1/jobs/{t1}/wait"));
+    assert_eq!(status, 503, "wait on an evicted ticket: {body}");
+    assert!(body.contains("overloaded"), "typed body: {body}");
+
+    // Through the typed client, the outcome itself carries the error.
+    client.submit(&simple_job(4), Lane::Interactive).expect("evicts t2");
+    match client.poll(t2) {
+        Ok(Some(TicketStatus::Ready(outcome))) => {
+            assert!(matches!(
+                outcome.result,
+                Err(BackendError::Overloaded { .. })
+            ));
+        }
+        other => panic!("expected the evicted outcome, got {other:?}"),
+    }
+
+    server.engine().resume();
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_oldest, 3);
+    assert_eq!(stats.completed, 5, "3 evictions + 2 run jobs");
+}
+
+/// `/wait` on a parked ticket exhausts the connection's deadline budget
+/// and answers 504 — the `DeadlineSleeper` refusing the next poll sleep
+/// is what ends the request.
+#[test]
+fn wait_past_the_deadline_budget_is_504() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            seed: 3,
+            ..ServeConfig::default()
+        },
+        TransportConfig {
+            request_deadline_ms: 80,
+            wait_poll_ms: 5,
+            ..TransportConfig::default()
+        },
+    );
+    server.engine().pause();
+    let t = client.submit(&simple_job(0), Lane::Interactive).expect("submit");
+    match client.wait(t) {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, 504),
+        other => panic!("expected a 504 wait, got {other:?}"),
+    }
+    server.engine().resume();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1, "drain still finishes the parked job");
+}
+
+/// Unknown tickets are 404 on poll and wait; bad JSON is 400; unknown
+/// paths are 404 and wrong methods 405.
+#[test]
+fn protocol_errors_are_typed_statuses() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            seed: 4,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    assert!(client.poll(999).expect("polling unknown is fine").is_none());
+    assert!(client.wait(999).expect("waiting unknown is fine").is_none());
+
+    // Raw speaking for the malformed cases the typed client won't emit.
+    let raw = |method: &str, target: &str, body: &[u8]| -> u16 {
+        use std::io::{BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("head");
+        stream.write_all(body).expect("body");
+        let resp =
+            qnat_transport::http::read_response(&mut BufReader::new(stream)).expect("response");
+        resp.status
+    };
+    assert_eq!(raw("POST", "/v1/jobs", b"{not json"), 400);
+    assert_eq!(raw("POST", "/v1/jobs", br#"{"job":1,"lane":"interactive"}"#), 400);
+    assert_eq!(raw("GET", "/nope", b""), 404);
+    assert_eq!(raw("DELETE", "/v1/jobs", b""), 405);
+    assert_eq!(raw("POST", "/healthz", b""), 405);
+    drop(server);
+}
+
+/// The chunked `/v1/stream` feed delivers every completion with results
+/// matching what `wait` would have returned.
+#[test]
+fn stream_delivers_every_completion() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 2,
+            seed: 5,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+    // Subscribe first so no completion is missed, then release.
+    let streamer = {
+        let client = client.clone();
+        std::thread::spawn(move || client.stream(6))
+    };
+    let expected: Vec<u64> = (0..6)
+        .map(|k| client.submit(&simple_job(k), Lane::Interactive).expect("submit"))
+        .collect();
+    // Give the streamer a beat to be subscribed before work flows.
+    std::thread::sleep(Duration::from_millis(100));
+    server.engine().resume();
+    let events = streamer.join().expect("stream thread").expect("stream");
+    assert_eq!(events.len(), 6);
+    let mut seen: Vec<u64> = events.iter().map(|e| e.ticket).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, expected);
+    for e in &events {
+        let m = e.result.as_ref().expect("clean factory succeeds");
+        assert_eq!(m.expectations.len(), 2);
+        assert!(m.expectations.iter().all(|x| x.is_finite()));
+    }
+    server.shutdown();
+}
+
+/// `/healthz` reports lane depths, engine counters and liveness.
+#[test]
+fn healthz_reports_lane_depths_and_stats() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            seed: 6,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+    for k in 0..3 {
+        client.submit(&simple_job(k), Lane::Interactive).expect("submit");
+    }
+    client.submit(&simple_job(9), Lane::Bulk).expect("submit");
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let lanes = health.get("lanes").expect("lanes");
+    assert_eq!(lanes.get("interactive").and_then(Json::as_usize), Some(3));
+    assert_eq!(lanes.get("bulk").and_then(Json::as_usize), Some(1));
+    let stats = health.get("stats").expect("stats");
+    assert_eq!(stats.get("submitted").and_then(Json::as_usize), Some(4));
+    server.engine().resume();
+    server.shutdown();
+}
+
+/// Graceful drain: `shutdown` stops accepting TCP connections and still
+/// finishes every in-flight ticket.
+#[test]
+fn shutdown_drains_in_flight_tickets_and_stops_accepting() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 2,
+            seed: 7,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+    for k in 0..8 {
+        client.submit(&simple_job(k), Lane::Interactive).expect("submit");
+    }
+    server.engine().resume();
+    let addr = server.local_addr();
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.completed, 8, "drain finishes every queued ticket");
+    // The listener is gone: new connections are refused.
+    assert!(std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}

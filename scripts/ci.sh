@@ -12,12 +12,22 @@
 #              example against a fault-injecting backend (the example
 #              itself asserts a nonzero completed-job count; the timeout
 #              turns a queue deadlock into a loud failure)
-#   5. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
-#              includes qnat-serve's unwrap_used wall)
-#   6. perf:   the batch-throughput and serve-throughput acceptance
+#   5. transport: the HTTP front-door suites — wire-format and HTTP
+#              parser unit tests, the replay-parity / status-contract
+#              e2e tests, and a deadlock-guarded smoke run of the
+#              http_serving example (ephemeral port, 50% fault
+#              injection, submit/poll/wait over real TCP; the example
+#              asserts a full graceful drain, the timeout turns an
+#              accept-loop or drain deadlock into a loud failure)
+#   6. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
+#              includes qnat-serve's and qnat-transport's unwrap_used
+#              walls)
+#   7. perf:   the batch-, serve-, and transport-throughput acceptance
 #              benches, which assert the 4-worker pool / serving engine
-#              beats single-threaded submission by >= 2x on a 64-job
-#              workload with real wall-clock backoff
+#              / HTTP front door beats single-threaded submission by
+#              >= 2x on a 64-job workload with real wall-clock backoff
+#              (the transport bench also writes latency percentiles to
+#              results/BENCH_transport.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,6 +52,13 @@ echo "== serve: example smoke gate (deadlock-guarded) =="
 cargo build --release --example serving
 timeout 120 cargo run --release --example serving
 
+echo "== transport: wire/http unit + e2e suites =="
+cargo test -q -p qnat-transport
+
+echo "== transport: example smoke gate (deadlock-guarded) =="
+cargo build --release --example http_serving
+timeout 120 cargo run --release --example http_serving
+
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
 
@@ -50,5 +67,8 @@ cargo bench -p qnat-bench --bench batch_throughput
 
 echo "== bench: serve_throughput acceptance gate =="
 cargo bench -p qnat-bench --bench serve_throughput
+
+echo "== bench: transport_throughput acceptance gate =="
+cargo bench -p qnat-bench --bench transport_throughput
 
 echo "CI OK"

@@ -16,6 +16,8 @@
 //!   normalization, noise injection, quantization, training and deployment.
 //! * [`serve`] — the long-lived serving layer: job queue, admission
 //!   control, backpressure and priority lanes over the batch pool.
+//! * [`transport`] — the HTTP front door over the serving engine, with a
+//!   lossless JSON wire format and an in-repo blocking client.
 //!
 //! ## Quickstart
 //!
@@ -39,3 +41,4 @@ pub use qnat_data as data;
 pub use qnat_noise as noise;
 pub use qnat_serve as serve;
 pub use qnat_sim as sim;
+pub use qnat_transport as transport;
