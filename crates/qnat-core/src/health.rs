@@ -360,6 +360,53 @@ impl HealthRegistry {
         keys.sort();
         keys
     }
+
+    /// A point-in-time view of *every* breaker, sorted by key, taken under
+    /// one lock acquisition — the consistent fleet-wide view a router
+    /// scores against and `/healthz` reports.
+    pub fn snapshots(&self) -> Vec<(String, BreakerSnapshot)> {
+        let map = self.breakers.lock().unwrap_or_else(|p| p.into_inner());
+        let mut all: Vec<(String, BreakerSnapshot)> = map
+            .iter()
+            .map(|(k, b)| {
+                (
+                    k.clone(),
+                    BreakerSnapshot {
+                        state: b.state(),
+                        trips: b.trips(),
+                        recoveries: b.recoveries(),
+                        short_circuited: b.short_circuited(),
+                    },
+                )
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Serves one idle cooldown epoch on `key`'s breaker when it is not
+    /// closed, and reports the state afterwards (`None` if no breaker
+    /// exists under `key`).
+    ///
+    /// Cooldown is measured in *planned* jobs, so a breaker that receives
+    /// zero traffic — e.g. a quarantined fleet device the router stopped
+    /// selecting — would otherwise stay open forever. Callers with an
+    /// event stream of their own (a router routing jobs elsewhere) tick
+    /// starved breakers once per event: a single planned-and-closed epoch
+    /// of one job, mirroring the serving layer's epochs-of-one cadence.
+    /// Closed breakers are left untouched, and a half-open breaker's
+    /// unclaimed probe admission is harmless — with no verdict it simply
+    /// stays half-open until real traffic probes it.
+    pub fn tick_idle(&self, key: &str) -> Option<BreakerState> {
+        let mut map = self.breakers.lock().unwrap_or_else(|p| p.into_inner());
+        let breaker = map.get_mut(key)?;
+        if breaker.state() == BreakerState::Closed {
+            return Some(BreakerState::Closed);
+        }
+        let _ = breaker.plan_epoch(1);
+        breaker.end_epoch();
+        Some(breaker.state())
+    }
 }
 
 /// Wall-clock deadline for batch execution.
@@ -617,6 +664,68 @@ mod tests {
         // Distinct keys are independent breakers.
         reg.with_breaker("qpu-b", &p, |b| assert_eq!(b.state(), BreakerState::Closed));
         assert_eq!(reg.keys(), vec!["qpu-a".to_string(), "qpu-b".to_string()]);
+    }
+
+    #[test]
+    fn registry_snapshots_views_the_whole_fleet_in_one_pass() {
+        let reg = HealthRegistry::new();
+        let p = policy();
+        reg.with_breaker("qpu-b", &p, |_| {});
+        reg.with_breaker("qpu-a", &p, |b| {
+            let a = b.plan_epoch(4);
+            for &adm in &a {
+                b.observe(adm, JobSignal::Failure);
+            }
+            b.end_epoch();
+        });
+        let all = reg.snapshots();
+        assert_eq!(
+            all.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["qpu-a", "qpu-b"],
+            "sorted by key"
+        );
+        assert!(matches!(all[0].1.state, BreakerState::Open { .. }));
+        assert_eq!(all[1].1.state, BreakerState::Closed);
+        // snapshots() agrees with per-key snapshot().
+        for (k, s) in &all {
+            assert_eq!(reg.snapshot(k), Some(*s));
+        }
+    }
+
+    #[test]
+    fn tick_idle_serves_cooldown_without_traffic() {
+        // Regression for quarantine starvation: an open breaker on a
+        // device receiving zero traffic must still reach half-open after
+        // cooldown_jobs idle ticks, or it could never be re-admitted.
+        let reg = HealthRegistry::new();
+        let p = policy(); // cooldown_jobs: 6
+        assert_eq!(reg.tick_idle("dead"), None, "no breaker yet");
+        reg.with_breaker("dead", &p, |b| {
+            let a = b.plan_epoch(4);
+            for &adm in &a {
+                b.observe(adm, JobSignal::Failure);
+            }
+            b.end_epoch();
+        });
+        // cooldown_jobs=6 ticks serve the cooldown; the next planned job
+        // finds cooldown_left == 0 and flips to half-open.
+        for tick in 0..6 {
+            let state = reg.tick_idle("dead").expect("breaker exists");
+            assert!(
+                matches!(state, BreakerState::Open { .. }),
+                "tick {tick}: {state:?}"
+            );
+        }
+        assert_eq!(reg.tick_idle("dead"), Some(BreakerState::HalfOpen));
+        // Idle ticks never produce a probe verdict, so further ticks park
+        // at half-open — recovery needs real traffic.
+        for _ in 0..4 {
+            assert_eq!(reg.tick_idle("dead"), Some(BreakerState::HalfOpen));
+        }
+        // A closed breaker is untouched by idle ticks.
+        reg.with_breaker("fine", &p, |_| {});
+        assert_eq!(reg.tick_idle("fine"), Some(BreakerState::Closed));
+        assert_eq!(reg.snapshot("fine").expect("exists").short_circuited, 0);
     }
 
     #[test]

@@ -140,77 +140,77 @@ fn walk_step(seed: u64, salt: u64, job: u64) -> f64 {
     2.0 * unit_draw(seed, salt, job) - 1.0
 }
 
-/// A backend decorator injecting seed-deterministic faults.
+/// An incremental evaluator of a [`FaultSpec`]'s drift trajectory: the
+/// `(gate, readout)` error-rate scales a device following `spec` exhibits
+/// at any drift index, bitwise identical to what a [`FaultyBackend`]
+/// walking the same indices applies.
+///
+/// This is the scoring half of the fault layer, split out so a fleet
+/// router can ask "how noisy is this device *right now*?" without
+/// executing anything. Evaluation stays pure in `(spec, job)`: the only
+/// internal state is the random-walk prefix sum, which is replayed from
+/// scratch whenever `job` moves backwards.
 #[derive(Debug, Clone)]
-pub struct FaultyBackend<B> {
-    inner: B,
+pub struct DriftCursor {
     spec: FaultSpec,
-    job_index: u64,
-    /// Batch-global index of this backend's first job — lets per-job
-    /// backends built by a pool continue one fleet-wide drift trajectory.
-    drift_offset: u64,
-    /// Random-walk position Σ steps for drift indices `< drift_offset +
-    /// job_index` (only meaningful under [`DriftModel::RandomWalk`]).
+    /// Next walk index to accumulate (random-walk model only): the walk
+    /// position currently holds Σ steps with index `< next`.
+    next: u64,
     walk_gate: f64,
     walk_readout: f64,
 }
 
-impl<B: QuantumBackend> FaultyBackend<B> {
-    /// Wraps `inner` with the fault schedule of `spec`.
-    pub fn new(inner: B, spec: FaultSpec) -> Self {
-        FaultyBackend {
-            inner,
+impl DriftCursor {
+    /// A cursor positioned at drift index 0.
+    pub fn new(spec: FaultSpec) -> DriftCursor {
+        DriftCursor {
             spec,
-            job_index: 0,
-            drift_offset: 0,
+            next: 0,
             walk_gate: 0.0,
             walk_readout: 0.0,
         }
     }
 
-    /// Like [`FaultyBackend::new`], but with the drift trajectory
-    /// fast-forwarded to position `first_job`: the backend's first job
-    /// runs at the drift scale job `first_job` of a fresh backend would
-    /// see. Fault *rolls* still follow the local job index — this only
-    /// positions drift, so a batch pool can give every per-job backend
-    /// its slice of one fleet-wide calibration trajectory.
-    pub fn starting_at(inner: B, spec: FaultSpec, first_job: u64) -> Self {
-        let mut b = FaultyBackend::new(inner, spec);
-        b.drift_offset = first_job;
-        if spec.has_drift() && matches!(spec.drift, DriftModel::RandomWalk) {
-            for i in 0..first_job {
-                b.advance_walk(i);
-            }
-        }
-        b
+    /// The underlying fault specification.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
     }
 
-    /// Accumulates the random-walk step of drift index `drift_job` into
-    /// the walk position.
-    fn advance_walk(&mut self, drift_job: u64) {
-        self.walk_gate += walk_step(self.spec.drift_seed, WALK_GATE_SALT, drift_job);
-        self.walk_readout += walk_step(self.spec.drift_seed, WALK_READOUT_SALT, drift_job);
-    }
-
-    /// `(gate, readout)` drift scales for drift index `drift_job` —
-    /// non-negative, pure in `(spec, drift_job)` (the walk state holds
-    /// exactly Σ steps below `drift_job` when called in sequence).
-    fn drift_scales(&self, drift_job: u64) -> (f64, f64) {
+    /// `(gate, readout)` drift scales at drift index `job` — non-negative
+    /// and pure in `(spec, job)`. Sequential forward queries advance the
+    /// random walk in O(Δjob); a backwards query rewinds by replaying the
+    /// walk from index 0, keeping results bitwise independent of the
+    /// query order.
+    pub fn scales_at(&mut self, job: u64) -> (f64, f64) {
         let gr = self.spec.gate_drift_per_job;
         let rr = self.spec.readout_drift_per_job;
         match self.spec.drift {
             DriftModel::Linear => {
-                let k = drift_job as f64;
+                let k = job as f64;
                 ((1.0 + k * gr).max(0.0), (1.0 + k * rr).max(0.0))
             }
-            DriftModel::RandomWalk => (
-                (1.0 + gr * self.walk_gate).max(0.0),
-                (1.0 + rr * self.walk_readout).max(0.0),
-            ),
+            DriftModel::RandomWalk => {
+                if job < self.next {
+                    self.next = 0;
+                    self.walk_gate = 0.0;
+                    self.walk_readout = 0.0;
+                }
+                while self.next < job {
+                    self.walk_gate +=
+                        walk_step(self.spec.drift_seed, WALK_GATE_SALT, self.next);
+                    self.walk_readout +=
+                        walk_step(self.spec.drift_seed, WALK_READOUT_SALT, self.next);
+                    self.next += 1;
+                }
+                (
+                    (1.0 + gr * self.walk_gate).max(0.0),
+                    (1.0 + rr * self.walk_readout).max(0.0),
+                )
+            }
             DriftModel::StepRecalibration { interval } => {
                 let interval = interval.max(1);
-                let session = drift_job / interval;
-                let phase = (drift_job % interval) as f64;
+                let session = job / interval;
+                let phase = (job % interval) as f64;
                 // Per-session baseline miscalibration: up to half a
                 // session of pre-paid drift, redrawn at each
                 // recalibration.
@@ -223,6 +223,44 @@ impl<B: QuantumBackend> FaultyBackend<B> {
                 )
             }
         }
+    }
+}
+
+/// A backend decorator injecting seed-deterministic faults.
+#[derive(Debug, Clone)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    spec: FaultSpec,
+    job_index: u64,
+    /// Batch-global index of this backend's first job — lets per-job
+    /// backends built by a pool continue one fleet-wide drift trajectory.
+    drift_offset: u64,
+    /// Incremental drift evaluator, kept in step with the executed jobs.
+    cursor: DriftCursor,
+}
+
+impl<B: QuantumBackend> FaultyBackend<B> {
+    /// Wraps `inner` with the fault schedule of `spec`.
+    pub fn new(inner: B, spec: FaultSpec) -> Self {
+        FaultyBackend {
+            inner,
+            spec,
+            job_index: 0,
+            drift_offset: 0,
+            cursor: DriftCursor::new(spec),
+        }
+    }
+
+    /// Like [`FaultyBackend::new`], but with the drift trajectory
+    /// fast-forwarded to position `first_job`: the backend's first job
+    /// runs at the drift scale job `first_job` of a fresh backend would
+    /// see. Fault *rolls* still follow the local job index — this only
+    /// positions drift, so a batch pool can give every per-job backend
+    /// its slice of one fleet-wide calibration trajectory.
+    pub fn starting_at(inner: B, spec: FaultSpec, first_job: u64) -> Self {
+        let mut b = FaultyBackend::new(inner, spec);
+        b.drift_offset = first_job;
+        b
     }
 
     /// Number of jobs submitted so far (attempts count: every `execute`
@@ -271,11 +309,8 @@ impl<B: QuantumBackend> QuantumBackend for FaultyBackend<B> {
         let mut rng = self.fault_rng(job);
         if self.spec.has_drift() {
             let drift_job = self.drift_offset + job;
-            let (gate_scale, readout_scale) = self.drift_scales(drift_job);
+            let (gate_scale, readout_scale) = self.cursor.scales_at(drift_job);
             self.inner.apply_drift(gate_scale, readout_scale);
-            if matches!(self.spec.drift, DriftModel::RandomWalk) {
-                self.advance_walk(drift_job);
-            }
         }
         // Fault rolls happen in a fixed order so the schedule is stable
         // under spec-rate changes of later faults.
@@ -443,16 +478,8 @@ mod tests {
     /// The `(gate, readout)` drift-scale trajectory a fresh backend walks
     /// through over `jobs` executions.
     fn drift_trajectory(spec: FaultSpec, jobs: u64) -> Vec<(f64, f64)> {
-        let mut b = FaultyBackend::new(SimulatorBackend::new(1), spec);
-        (0..jobs)
-            .map(|j| {
-                let scales = b.drift_scales(j);
-                if matches!(spec.drift, DriftModel::RandomWalk) {
-                    b.advance_walk(j);
-                }
-                scales
-            })
-            .collect()
+        let mut cursor = DriftCursor::new(spec);
+        (0..jobs).map(|j| cursor.scales_at(j)).collect()
     }
 
     #[test]
@@ -506,12 +533,70 @@ mod tests {
             // scales as jobs 30.. of the fresh backend.
             let mut resumed = FaultyBackend::starting_at(SimulatorBackend::new(1), spec, 30);
             for (k, expected) in full.iter().enumerate().skip(30) {
-                let scales = resumed.drift_scales(k as u64);
+                let scales = resumed.cursor.scales_at(k as u64);
                 assert_eq!(scales, *expected, "{drift:?} job {k}");
-                if matches!(drift, DriftModel::RandomWalk) {
-                    resumed.advance_walk(k as u64);
-                }
             }
+        }
+    }
+
+    #[test]
+    fn cursor_matches_executed_backend_bitwise() {
+        // The cursor IS the drift the backend applies: a probe backend
+        // recording apply_drift calls must see exactly the cursor's
+        // trajectory, for every model.
+        #[derive(Debug)]
+        struct Probe {
+            inner: SimulatorBackend,
+            applied: Vec<(f64, f64)>,
+        }
+        impl QuantumBackend for Probe {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn n_qubits(&self) -> usize {
+                self.inner.n_qubits()
+            }
+            fn validate(&self, circuit: &Circuit) -> Result<(), BackendError> {
+                self.inner.validate(circuit)
+            }
+            fn execute(
+                &mut self,
+                circuit: &Circuit,
+                shots: Option<usize>,
+            ) -> Result<Measurements, BackendError> {
+                self.inner.execute(circuit, shots)
+            }
+            fn apply_drift(&mut self, gate_scale: f64, readout_scale: f64) {
+                self.applied.push((gate_scale, readout_scale));
+            }
+        }
+        for drift in [
+            DriftModel::Linear,
+            DriftModel::RandomWalk,
+            DriftModel::StepRecalibration { interval: 5 },
+        ] {
+            let spec = drift_spec(drift, 0.3, 21);
+            let probe = Probe {
+                inner: SimulatorBackend::new(1),
+                applied: Vec::new(),
+            };
+            let mut b = FaultyBackend::new(probe, spec);
+            for _ in 0..40 {
+                let _ = b.execute(&bell(), None);
+            }
+            assert_eq!(b.inner().applied, drift_trajectory(spec, 40), "{drift:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_rewinds_deterministically_on_backwards_queries() {
+        let spec = drift_spec(DriftModel::RandomWalk, 0.4, 17);
+        let forward = drift_trajectory(spec, 100);
+        let mut cursor = DriftCursor::new(spec);
+        // Jump around: ahead, back, ahead again — every answer must match
+        // the in-order trajectory bitwise.
+        for &j in &[80u64, 3, 42, 42, 7, 99, 0, 55] {
+            assert_eq!(cursor.scales_at(j), forward[j as usize], "job {j}");
         }
     }
 

@@ -44,6 +44,6 @@ pub use backend::{
 pub use device::DeviceModel;
 pub use emulator::HardwareEmulator;
 pub use error_spec::PauliErrorSpec;
-pub use fault::{DriftModel, FaultSpec, FaultyBackend};
+pub use fault::{DriftCursor, DriftModel, FaultSpec, FaultyBackend};
 pub use readout::ReadoutError;
 pub use trajectory::TrajectoryEmulator;

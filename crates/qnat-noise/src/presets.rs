@@ -263,6 +263,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn by_name_round_trips_every_device() {
+        // Every preset must be reachable back through by_name, via its
+        // full registered name, its bare suffix, and any casing — and the
+        // looked-up model must be the identical calibration data.
+        for dev in all_devices() {
+            let full = dev.name().to_owned();
+            let suffix = full.rsplit('-').next().unwrap_or(&full).to_owned();
+            for query in [full.clone(), suffix.clone(), suffix.to_uppercase()] {
+                let found = by_name(&query)
+                    .unwrap_or_else(|| panic!("by_name({query:?}) lost {full}"));
+                assert_eq!(found.name(), full, "query {query:?}");
+                assert_eq!(
+                    found.mean_single_qubit_error(),
+                    dev.mean_single_qubit_error(),
+                    "query {query:?} returned different calibration"
+                );
+                assert_eq!(found.n_qubits(), dev.n_qubits(), "query {query:?}");
+            }
+        }
+        assert!(by_name("no-such-device").is_none());
+    }
+
+    #[test]
     fn yorktown_is_about_five_times_santiago() {
         let ratio = yorktown().mean_single_qubit_error() / santiago().mean_single_qubit_error();
         assert!((4.0..6.0).contains(&ratio), "ratio = {ratio}");

@@ -227,6 +227,53 @@ impl From<SubmitError> for BackendError {
     }
 }
 
+/// Why a bounded [`ServeEngine::wait_timeout`] returned without an
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The ticket did not complete within the budget; it is still live
+    /// and a later `wait`/`wait_timeout`/`poll` can still consume it.
+    Timeout {
+        /// The budget that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The engine does not know the ticket (never issued, already
+    /// consumed, or discarded at shutdown).
+    Unknown,
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::Timeout { waited_ms } => {
+                write!(f, "ticket not ready after {waited_ms} ms")
+            }
+            WaitError::Unknown => write!(f, "unknown ticket"),
+        }
+    }
+}
+
+impl Error for WaitError {}
+
+/// A point-in-time view of how much work an engine is holding — the
+/// queue-depth half of a fleet router's scoring input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Jobs queued (not running) on the interactive lane.
+    pub queued_interactive: usize,
+    /// Jobs queued (not running) on the bulk lane.
+    pub queued_bulk: usize,
+    /// Jobs currently executing on workers.
+    pub running: usize,
+}
+
+impl EngineLoad {
+    /// Total jobs the engine is holding (queued + running).
+    pub fn total(&self) -> usize {
+        self.queued_interactive + self.queued_bulk + self.running
+    }
+}
+
 /// Everything one finished job produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
@@ -275,6 +322,11 @@ struct Queued {
     /// The breaker's verdict at enqueue time (`None` without admission
     /// control). `ShortCircuit` here means [`OpenAction::Fallback`].
     admission: Option<Admission>,
+    /// The global job index `run_job` reports failures under — the local
+    /// ticket, unless a router overrode it at submit time.
+    global: u64,
+    /// The executor seed — ticket-derived, unless a router pinned it.
+    seed: u64,
 }
 
 /// Mutable engine state behind the one mutex.
@@ -423,6 +475,42 @@ impl ServeEngine {
     /// [`SubmitError::Shed`] when admission control refuses the job, and
     /// [`SubmitError::Stopping`] once the engine drains or drops.
     pub fn submit(&self, job: BatchJob, lane: Lane) -> Result<Ticket, SubmitError> {
+        self.submit_inner(job, lane, None)
+    }
+
+    /// Like [`ServeEngine::submit`], but with the job's global index and
+    /// executor seed pinned by the caller instead of derived from the
+    /// local ticket.
+    ///
+    /// This is the fleet hook: a router spreading one logical workload
+    /// over several engines keeps the fleet-wide invariant
+    /// `seed = splitmix64(fleet_seed ^ splitmix64(fleet_job))` intact
+    /// regardless of which engine (and therefore which local ticket) a
+    /// job lands on — including a failover or hedged re-submission of the
+    /// *same* `(global, seed)` pair, which runs bitwise identically on an
+    /// identical device. Admission control and backpressure apply exactly
+    /// as in `submit`; the returned ticket is still this engine's local
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeEngine::submit`].
+    pub fn submit_routed(
+        &self,
+        job: BatchJob,
+        lane: Lane,
+        global: u64,
+        seed: u64,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(job, lane, Some((global, seed)))
+    }
+
+    fn submit_inner(
+        &self,
+        job: BatchJob,
+        lane: Lane,
+        routed: Option<(u64, u64)>,
+    ) -> Result<Ticket, SubmitError> {
         let shared = &*self.shared;
         let mut st = shared.lock_state();
         if st.stopping {
@@ -532,10 +620,16 @@ impl ServeEngine {
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.stats.submitted += 1;
+        let (global, seed) = routed.unwrap_or((
+            ticket,
+            splitmix64(shared.config.seed ^ splitmix64(ticket)),
+        ));
         st.lanes[li].push_back(Queued {
             ticket,
             job,
             admission,
+            global,
+            seed,
         });
         shared.jobs_cv.notify_one();
         Ok(ticket)
@@ -579,6 +673,41 @@ impl ServeEngine {
         }
     }
 
+    /// Like [`ServeEngine::wait`], but bounded: blocks at most `ms`
+    /// milliseconds. On [`WaitError::Timeout`] the ticket stays live —
+    /// its outcome is *not* consumed and any later wait or poll can still
+    /// claim it, which is what lets a fleet router hedge a slow job on a
+    /// second device and deterministically discard the loser.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::Timeout`] when the budget elapses first,
+    /// [`WaitError::Unknown`] for tickets the engine does not know.
+    pub fn wait_timeout(&self, ticket: Ticket, ms: u64) -> Result<JobOutcome, WaitError> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+        let mut st = self.shared.lock_state();
+        loop {
+            if let Some(outcome) = st.ready.remove(&ticket) {
+                return Ok(outcome);
+            }
+            let pending = st.running.contains(&ticket)
+                || st.lanes.iter().any(|q| q.iter().any(|j| j.ticket == ticket));
+            if !pending {
+                return Err(WaitError::Unknown);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(WaitError::Timeout { waited_ms: ms });
+            }
+            let (guard, _) = self
+                .shared
+                .done_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
     /// A result stream: every completion (evictions and fast-fails
     /// included) is sent as `(ticket, result)` in completion order. The
     /// channel disconnects when the engine drains or drops.
@@ -608,6 +737,17 @@ impl ServeEngine {
     /// Jobs currently queued (not running) on `lane`.
     pub fn queue_depth(&self, lane: Lane) -> usize {
         self.shared.lock_state().lanes[lane_index(lane)].len()
+    }
+
+    /// Queue depths and running count in one consistent snapshot — what a
+    /// fleet router scores candidate engines by.
+    pub fn load(&self) -> EngineLoad {
+        let st = self.shared.lock_state();
+        EngineLoad {
+            queued_interactive: st.lanes[0].len(),
+            queued_bulk: st.lanes[1].len(),
+            running: st.running.len(),
+        }
     }
 
     /// The breaker registry admission control consults.
@@ -679,13 +819,12 @@ fn worker_loop(shared: &Shared) {
                 st = shared.jobs_cv.wait(st).unwrap_or_else(|p| p.into_inner());
             }
         };
-        let seed = splitmix64(shared.config.seed ^ splitmix64(queued.ticket));
         let deadline = shared.config.deadline_ms.map(JobDeadline::PerJob);
         let short = queued.admission == Some(Admission::ShortCircuit);
         let (result, report) = run_job(
             &*shared.factory,
-            queued.ticket,
-            seed,
+            queued.global,
+            queued.seed,
             &queued.job,
             short,
             deadline.as_ref(),
@@ -1070,6 +1209,71 @@ mod tests {
         assert!(short_circuited > 0, "open breaker must skip the primary");
         let snap = engine.health_registry().snapshot("primary").unwrap();
         assert!(snap.trips >= 1);
+    }
+
+    #[test]
+    fn submit_routed_pins_global_index_and_seed() {
+        // A routed submission must run under the caller's (global, seed),
+        // not the local-ticket derivation: outcome bitwise equals a direct
+        // run_job with those values, even though the local ticket differs.
+        use qnat_core::batch::run_job;
+        let engine = ServeEngine::new(config(2), faulty_factory(0.4));
+        // Burn local tickets 0..3 so routed tickets diverge from globals.
+        for k in 0..3 {
+            let t = engine.submit(job(k), Lane::Bulk).unwrap();
+            let _ = engine.wait(t);
+        }
+        let fleet_seed = 0x0005_eedf_1ee7_u64;
+        let factory = faulty_factory(0.4);
+        for global in [7u64, 11, 42] {
+            let seed = splitmix64(fleet_seed ^ splitmix64(global));
+            let t = engine
+                .submit_routed(job(global as usize), Lane::Interactive, global, seed)
+                .unwrap();
+            assert_ne!(t, global, "local ticket diverged from the global index");
+            let outcome = engine.wait(t).expect("routed job completes");
+            let (result, report) =
+                run_job(&factory, global, seed, &job(global as usize), false, None);
+            assert_eq!(outcome.result, result, "global {global}");
+            assert_eq!(outcome.report, report, "global {global}");
+        }
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_keeps_the_ticket_live() {
+        let engine = ServeEngine::new(config(1), faulty_factory(0.0));
+        engine.pause();
+        let t = engine.submit(job(0), Lane::Interactive).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            engine.wait_timeout(t, 30),
+            Err(WaitError::Timeout { waited_ms: 30 }),
+            "paused engine cannot complete the job"
+        );
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        assert_eq!(engine.wait_timeout(9999, 10), Err(WaitError::Unknown));
+        engine.resume();
+        // The timeout consumed nothing: the same ticket still delivers.
+        let outcome = engine.wait_timeout(t, 5_000).expect("completes after resume");
+        assert!(outcome.result.is_ok());
+        assert_eq!(engine.wait_timeout(t, 10), Err(WaitError::Unknown), "consumed");
+    }
+
+    #[test]
+    fn load_reports_queued_and_running() {
+        let engine = ServeEngine::new(config(1), faulty_factory(0.0));
+        assert_eq!(engine.load(), EngineLoad::default());
+        engine.pause();
+        engine.submit(job(0), Lane::Interactive).unwrap();
+        engine.submit(job(1), Lane::Bulk).unwrap();
+        engine.submit(job(2), Lane::Bulk).unwrap();
+        let load = engine.load();
+        assert_eq!(load.queued_interactive, 1);
+        assert_eq!(load.queued_bulk, 2);
+        assert_eq!(load.total(), 3);
+        engine.resume();
+        let stats = engine.drain();
+        assert_eq!(stats.completed, 3);
     }
 
     #[test]

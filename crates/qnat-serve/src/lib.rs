@@ -34,7 +34,7 @@ pub mod qnn;
 
 pub use bulk::{bulk_grid_sweep, BulkSweepRecord};
 pub use engine::{
-    AdmissionControl, BackpressurePolicy, EngineStats, JobOutcome, Lane, LaneConfig, OpenAction,
-    Poll, ServeConfig, ServeEngine, SubmitError, Ticket,
+    AdmissionControl, BackpressurePolicy, EngineLoad, EngineStats, JobOutcome, Lane, LaneConfig,
+    OpenAction, Poll, ServeConfig, ServeEngine, SubmitError, Ticket, WaitError,
 };
 pub use qnn::{DeployServing, ServeAdmission, ServingOptions, ServingQnn};

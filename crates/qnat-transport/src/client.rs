@@ -18,11 +18,39 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Which phase of a client call ran out of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutPhase {
+    /// TCP connect did not complete within the connect timeout.
+    Connect,
+    /// The request could not be written within the per-call timeout.
+    Write,
+    /// The response did not arrive within the per-call timeout.
+    Read,
+}
+
+impl fmt::Display for TimeoutPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutPhase::Connect => write!(f, "connect"),
+            TimeoutPhase::Write => write!(f, "write"),
+            TimeoutPhase::Read => write!(f, "read"),
+        }
+    }
+}
+
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Socket-level failure (connect, timeout, reset).
+    /// Socket-level failure (connect refused, reset, …).
     Io(std::io::Error),
+    /// The call ran out of time in the given phase — the typed signal a
+    /// caller needs to distinguish "server slow/hung" from "server
+    /// broken", instead of pattern-matching io error kinds.
+    Timeout {
+        /// Which phase timed out.
+        phase: TimeoutPhase,
+    },
     /// The response was not valid HTTP.
     Http(HttpError),
     /// The response body did not decode as the expected payload.
@@ -40,6 +68,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "client io error: {e}"),
+            ClientError::Timeout { phase } => {
+                write!(f, "client timed out during {phase}")
+            }
             ClientError::Http(e) => write!(f, "client http error: {e}"),
             ClientError::Wire(e) => write!(f, "client decode error: {e}"),
             ClientError::Status { status, body } => {
@@ -51,15 +82,36 @@ impl fmt::Display for ClientError {
 
 impl Error for ClientError {}
 
+fn io_is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // Bare io conversions only happen on the read path (connect and
+        // write classify explicitly in `call`).
+        if io_is_timeout(&e) {
+            ClientError::Timeout {
+                phase: TimeoutPhase::Read,
+            }
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
 impl From<HttpError> for ClientError {
     fn from(e: HttpError) -> Self {
-        ClientError::Http(e)
+        if e.timed_out {
+            ClientError::Timeout {
+                phase: TimeoutPhase::Read,
+            }
+        } else {
+            ClientError::Http(e)
+        }
     }
 }
 
@@ -94,30 +146,59 @@ pub struct StreamEvent {
 pub struct TransportClient {
     addr: SocketAddr,
     timeout: Duration,
+    connect_timeout: Duration,
 }
 
 impl TransportClient {
-    /// A client for the server at `addr` with a 30 s per-call timeout.
+    /// A client for the server at `addr` with a 30 s per-call
+    /// (read/write) timeout and a 10 s connect timeout.
     pub fn new(addr: SocketAddr) -> Self {
         TransportClient {
             addr,
             timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
         }
     }
 
-    /// Overrides the per-call socket timeout.
+    /// Overrides the per-call read/write socket timeout.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
     }
 
+    /// Overrides the TCP connect timeout, separately from the per-call
+    /// timeout — a dead host should fail fast even when long server-side
+    /// waits are configured.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
     fn call(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, ClientError> {
-        let stream = TcpStream::connect(self.addr)?;
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.connect_timeout).map_err(|e| {
+                if io_is_timeout(&e) {
+                    ClientError::Timeout {
+                        phase: TimeoutPhase::Connect,
+                    }
+                } else {
+                    ClientError::Io(e)
+                }
+            })?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let mut writer = stream.try_clone()?;
-        write_request(&mut writer, method, target, body)?;
+        write_request(&mut writer, method, target, body).map_err(|e| {
+            if e.timed_out {
+                ClientError::Timeout {
+                    phase: TimeoutPhase::Write,
+                }
+            } else {
+                ClientError::Http(e)
+            }
+        })?;
         let mut reader = BufReader::new(stream);
         Ok(read_response(&mut reader)?)
     }

@@ -28,7 +28,7 @@ pub mod http;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, StreamEvent, TicketStatus, TransportClient};
+pub use client::{ClientError, StreamEvent, TicketStatus, TimeoutPhase, TransportClient};
 pub use http::{HttpError, Request, Response};
-pub use server::{TransportConfig, TransportServer};
+pub use server::{HealthSection, TransportConfig, TransportServer};
 pub use wire::WireError;

@@ -7,9 +7,9 @@
 //! |---|---|---|
 //! | `/v1/jobs` | POST | submit `{job, lane}` → `{ticket}`; 400 bad JSON, 429 queue full, 503 shed/stopping |
 //! | `/v1/jobs/{ticket}` | GET | non-blocking poll; 200 ready, 202 queued/running, 404 unknown, 503 breaker/eviction |
-//! | `/v1/jobs/{ticket}/wait` | GET | block until ready, paced by a [`DeadlineSleeper`]; 504 on deadline |
+//! | `/v1/jobs/{ticket}/wait` | GET | block until ready via `ServeEngine::wait_timeout` over the budget; 504 on deadline |
 //! | `/v1/stream` | GET | chunked feed of every completion, from `subscribe` |
-//! | `/healthz` | GET | lane depths, engine counters, breaker states |
+//! | `/healthz` | GET | lane depths, engine counters, breaker states; plus a `fleet` section when bound with one |
 //!
 //! ## Threading and shutdown
 //!
@@ -18,9 +18,10 @@
 //! transport-level backpressure (the kernel listen backlog absorbs the
 //! burst). A fixed pool of HTTP workers drains the queue. Every
 //! connection gets a fresh [`DeadlineBudget`]: socket read/write
-//! timeouts are derived from its `remaining_ms`, and the `/wait` poll
-//! loop consumes it through a [`DeadlineSleeper`] — one budget bounds
-//! the whole request no matter where the time goes.
+//! timeouts are derived from its `remaining_ms`, and `/wait` hands the
+//! remaining budget to `ServeEngine::wait_timeout` — one budget bounds
+//! the whole request no matter where the time goes, with no server-side
+//! poll loop.
 //!
 //! [`TransportServer::shutdown`] is the graceful path: stop accepting,
 //! let the workers finish every queued connection, then drain the
@@ -32,9 +33,8 @@ use crate::http::{
 };
 use crate::wire;
 use qnat_core::health::DeadlineBudget;
-use qnat_core::time::{DeadlineSleeper, Sleeper, ThreadSleeper};
 use qnat_json::Json;
-use qnat_serve::engine::{Lane, Poll, ServeEngine, Ticket};
+use qnat_serve::engine::{Lane, Poll, ServeEngine, Ticket, WaitError};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,10 +52,8 @@ pub struct TransportConfig {
     /// the accept thread.
     pub accept_queue: usize,
     /// Per-connection deadline budget in milliseconds: socket timeouts
-    /// and the `/wait` poll loop all draw from it.
+    /// and the `/wait` blocking window all draw from it.
     pub request_deadline_ms: u64,
-    /// Interval between `/wait` polls, in milliseconds.
-    pub wait_poll_ms: u64,
 }
 
 impl Default for TransportConfig {
@@ -64,10 +62,14 @@ impl Default for TransportConfig {
             http_workers: 4,
             accept_queue: 64,
             request_deadline_ms: 10_000,
-            wait_poll_ms: 2,
         }
     }
 }
+
+/// An extra `/healthz` section provider — the fleet router's health view
+/// when the front door sits on a fleet (see
+/// [`TransportServer::bind_with_health`]).
+pub type HealthSection = Arc<dyn Fn() -> Json + Send + Sync>;
 
 /// A running front door bound to a TCP address.
 pub struct TransportServer {
@@ -90,6 +92,25 @@ impl TransportServer {
         addr: &str,
         config: TransportConfig,
         engine: ServeEngine,
+    ) -> io::Result<TransportServer> {
+        Self::bind_with_health(addr, config, engine, None)
+    }
+
+    /// [`TransportServer::bind`] plus an extra `/healthz` section: the
+    /// provider's document is merged into the health body under the
+    /// `"fleet"` key. Pair it with
+    /// [`wire::fleet_health_to_json`] over a shared `FleetRouter` to
+    /// expose quarantine flags, per-device load, breakers and noise
+    /// estimates through the front door.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_health(
+        addr: &str,
+        config: TransportConfig,
+        engine: ServeEngine,
+        health_section: Option<HealthSection>,
     ) -> io::Result<TransportServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -119,13 +140,20 @@ impl TransportServer {
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
                 let config = config.clone();
+                let health_section = health_section.clone();
                 std::thread::spawn(move || loop {
                     let conn = {
                         let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
                         guard.recv()
                     };
                     match conn {
-                        Ok(stream) => handle_connection(stream, &engine, &config, &stop),
+                        Ok(stream) => handle_connection(
+                            stream,
+                            &engine,
+                            &config,
+                            &stop,
+                            health_section.as_ref(),
+                        ),
                         Err(_) => break, // accept loop gone and queue drained
                     }
                 })
@@ -218,6 +246,7 @@ fn handle_connection(
     engine: &ServeEngine,
     config: &TransportConfig,
     stop: &AtomicBool,
+    health_section: Option<&HealthSection>,
 ) {
     let budget = DeadlineBudget::new(config.request_deadline_ms);
     arm_socket(&stream, &budget);
@@ -240,9 +269,9 @@ fn handle_connection(
     match route(&request) {
         Route::Submit => handle_submit(&mut stream, engine, &request),
         Route::Poll(ticket) => handle_poll(&mut stream, engine, ticket),
-        Route::Wait(ticket) => handle_wait(&mut stream, engine, config, &budget, ticket),
+        Route::Wait(ticket) => handle_wait(&mut stream, engine, &budget, ticket),
         Route::Stream => handle_stream(&mut stream, engine, &request, &budget, stop),
-        Route::Health => handle_health(&mut stream, engine, stop),
+        Route::Health => handle_health(&mut stream, engine, stop, health_section),
         Route::MethodNotAllowed => respond(
             &mut stream,
             405,
@@ -375,44 +404,42 @@ fn handle_poll(stream: &mut TcpStream, engine: &ServeEngine, ticket: Ticket) {
     }
 }
 
-/// Blocks until the ticket is ready, polling the engine through a
-/// [`DeadlineSleeper`] over the connection's budget: when the budget
-/// can no longer cover the next poll interval, the sleeper refuses and
-/// the request times out with 504.
+/// Blocks until the ticket is ready through the engine's own condvar
+/// ([`ServeEngine::wait_timeout`]) bounded by the connection's remaining
+/// budget — no poll loop, so completions wake the request immediately
+/// and an exhausted budget surfaces as a typed engine timeout → 504.
 fn handle_wait(
     stream: &mut TcpStream,
     engine: &ServeEngine,
-    config: &TransportConfig,
     budget: &DeadlineBudget,
     ticket: Ticket,
 ) {
-    let mut sleeper = DeadlineSleeper::new(Box::new(ThreadSleeper::default()), budget.clone());
-    loop {
-        match engine.poll(ticket) {
-            Poll::Ready(outcome) => {
-                arm_socket(stream, budget);
-                let (status, body) = ready_response(&outcome);
-                respond(stream, status, &body);
-                return;
-            }
-            Poll::Unknown => {
-                respond(
-                    stream,
-                    404,
-                    &Json::obj([("status", Json::Str("unknown".into()))]),
-                );
-                return;
-            }
-            Poll::Queued | Poll::Running => {
-                if !sleeper.try_sleep(config.wait_poll_ms.max(1)) {
-                    respond(
-                        stream,
-                        504,
-                        &error_body("deadline", format!("ticket {ticket} not ready in budget")),
-                    );
-                    return;
-                }
-            }
+    let window_ms = budget.remaining_ms();
+    let started = std::time::Instant::now();
+    match engine.wait_timeout(ticket, window_ms) {
+        Ok(outcome) => {
+            // The wait consumed real time; charge the budget before
+            // re-arming the socket for the response write.
+            let elapsed = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let _ = budget.try_consume(elapsed.min(budget.remaining_ms()));
+            arm_socket(stream, budget);
+            let (status, body) = ready_response(&outcome);
+            respond(stream, status, &body);
+        }
+        Err(WaitError::Unknown) => {
+            respond(
+                stream,
+                404,
+                &Json::obj([("status", Json::Str("unknown".into()))]),
+            );
+        }
+        Err(WaitError::Timeout { waited_ms }) => {
+            let _ = budget.try_consume(waited_ms.min(budget.remaining_ms()));
+            respond(
+                stream,
+                504,
+                &error_body("deadline", format!("ticket {ticket} not ready in budget")),
+            );
         }
     }
 }
@@ -465,22 +492,22 @@ fn handle_stream(
     let _ = finish_chunks(stream);
 }
 
-fn handle_health(stream: &mut TcpStream, engine: &ServeEngine, stop: &AtomicBool) {
+fn handle_health(
+    stream: &mut TcpStream,
+    engine: &ServeEngine,
+    stop: &AtomicBool,
+    health_section: Option<&HealthSection>,
+) {
     let stats = engine.stats();
     let registry = engine.health_registry();
-    let breakers = wire::obj_from(registry.keys().into_iter().filter_map(|key| {
-        let snap = registry.snapshot(&key)?;
-        Some((
-            key,
-            Json::obj([
-                ("state", wire::breaker_state_to_json(&snap.state)),
-                ("trips", Json::Num(snap.trips as f64)),
-                ("recoveries", Json::Num(snap.recoveries as f64)),
-                ("short_circuited", Json::Num(snap.short_circuited as f64)),
-            ]),
-        ))
-    }));
-    let body = Json::obj([
+    // One registry pass: every registered breaker appears, atomically.
+    let breakers = wire::obj_from(
+        registry
+            .snapshots()
+            .into_iter()
+            .map(|(key, snap)| (key, wire::breaker_snapshot_to_json(&snap))),
+    );
+    let mut body = Json::obj([
         (
             "status",
             Json::Str(if stop.load(Ordering::SeqCst) {
@@ -512,5 +539,8 @@ fn handle_health(stream: &mut TcpStream, engine: &ServeEngine, stop: &AtomicBool
         ),
         ("breakers", breakers),
     ]);
+    if let (Some(section), Json::Obj(map)) = (health_section, &mut body) {
+        map.insert("fleet".into(), section());
+    }
     let _ = write_response(stream, 200, &body.to_json());
 }

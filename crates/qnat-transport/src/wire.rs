@@ -15,7 +15,8 @@
 //! produces.
 
 use qnat_core::executor::{ExecutionReport, FailureRecord};
-use qnat_core::health::BreakerState;
+use qnat_core::health::{BreakerSnapshot, BreakerState};
+use qnat_fleet::FleetHealth;
 use qnat_json::{Json, JsonError};
 use qnat_noise::backend::{BackendError, Measurements};
 use qnat_core::batch::BatchJob;
@@ -541,6 +542,54 @@ pub fn breaker_state_to_json(state: &BreakerState) -> Json {
         ]),
         BreakerState::HalfOpen => Json::obj([("state", Json::Str("half_open".into()))]),
     }
+}
+
+/// Renders one breaker snapshot for `/healthz`: the state document plus
+/// its counters.
+pub fn breaker_snapshot_to_json(snap: &BreakerSnapshot) -> Json {
+    Json::obj([
+        ("state", breaker_state_to_json(&snap.state)),
+        ("trips", Json::Num(snap.trips as f64)),
+        ("recoveries", Json::Num(snap.recoveries as f64)),
+        ("short_circuited", Json::Num(snap.short_circuited as f64)),
+    ])
+}
+
+/// Renders the fleet router's health view as the `/healthz` `fleet`
+/// section: one entry per device with its quarantine flag, engine load,
+/// breaker and the router's current noise estimate.
+pub fn fleet_health_to_json(health: &FleetHealth) -> Json {
+    Json::Arr(
+        health
+            .devices
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("name", Json::Str(d.name.clone())),
+                    ("quarantined", Json::Bool(d.quarantined)),
+                    (
+                        "load",
+                        Json::obj([
+                            (
+                                "queued_interactive",
+                                Json::Num(d.load.queued_interactive as f64),
+                            ),
+                            ("queued_bulk", Json::Num(d.load.queued_bulk as f64)),
+                            ("running", Json::Num(d.load.running as f64)),
+                        ]),
+                    ),
+                    (
+                        "breaker",
+                        match &d.breaker {
+                            Some(snap) => breaker_snapshot_to_json(snap),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("noise_estimate", Json::Num(d.noise_estimate)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Convenience: an object from owned-key pairs (healthz breaker maps).

@@ -16,7 +16,9 @@ use qnat_noise::presets;
 use qnat_serve::engine::{Lane, LaneConfig, ServeConfig, ServeEngine};
 use qnat_sim::circuit::Circuit;
 use qnat_sim::gate::Gate;
-use qnat_transport::{ClientError, TicketStatus, TransportClient, TransportConfig, TransportServer};
+use qnat_transport::{
+    ClientError, TicketStatus, TimeoutPhase, TransportClient, TransportConfig, TransportServer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -262,8 +264,8 @@ fn shed_oldest_eviction_surfaces_as_503() {
 }
 
 /// `/wait` on a parked ticket exhausts the connection's deadline budget
-/// and answers 504 — the `DeadlineSleeper` refusing the next poll sleep
-/// is what ends the request.
+/// and answers 504 — the engine's typed `WaitError::Timeout` surfacing
+/// through the front door.
 #[test]
 fn wait_past_the_deadline_budget_is_504() {
     let (server, client) = serve(
@@ -274,7 +276,6 @@ fn wait_past_the_deadline_budget_is_504() {
         },
         TransportConfig {
             request_deadline_ms: 80,
-            wait_poll_ms: 5,
             ..TransportConfig::default()
         },
     );
@@ -413,4 +414,230 @@ fn shutdown_drains_in_flight_tickets_and_stops_accepting() {
     assert_eq!(stats.completed, 8, "drain finishes every queued ticket");
     // The listener is gone: new connections are refused.
     assert!(std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+/// A server that accepts but never answers trips the client's typed
+/// read timeout — callers get `ClientError::Timeout { phase: Read }`,
+/// not an untyped io error to pattern-match.
+#[test]
+fn client_read_timeout_is_typed() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    // Accept connections and park them unanswered until the test ends.
+    let accepter = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        held
+    });
+    let client = TransportClient::new(addr)
+        .with_timeout(Duration::from_millis(100))
+        .with_connect_timeout(Duration::from_millis(500));
+    let started = std::time::Instant::now();
+    match client.healthz() {
+        Err(ClientError::Timeout { phase }) => assert_eq!(phase, TimeoutPhase::Read),
+        other => panic!("expected a typed read timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout must honor the configured 100ms, not hang"
+    );
+    // Unblock the accepter so the thread joins.
+    let _ = std::net::TcpStream::connect(addr);
+    let _ = accepter.join();
+}
+
+/// Satellite: every breaker registered in the engine's registry appears
+/// in `/healthz`, and each state serializes exactly as
+/// `wire::breaker_state_to_json` renders it — Closed, Open (with its
+/// cooldown counter) and HalfOpen alike.
+#[test]
+fn healthz_exposes_every_breaker_snapshot_exactly() {
+    use qnat_core::health::{Admission, BreakerPolicy, HealthRegistry, JobSignal};
+    use std::sync::Arc;
+
+    let registry = Arc::new(HealthRegistry::new());
+    let policy = BreakerPolicy {
+        window: 4,
+        failure_threshold: 0.5,
+        min_samples: 2,
+        cooldown_jobs: 7,
+        ..BreakerPolicy::default()
+    };
+    // "steady": stays Closed under successes.
+    registry.with_breaker("steady", &policy, |b| {
+        for a in b.plan_epoch(3) {
+            if a != Admission::ShortCircuit {
+                b.observe(a, JobSignal::Success);
+            }
+        }
+        b.end_epoch();
+    });
+    // "tripped": fails past the threshold and opens.
+    registry.with_breaker("tripped", &policy, |b| {
+        for a in b.plan_epoch(4) {
+            if a != Admission::ShortCircuit {
+                b.observe(a, JobSignal::Failure);
+            }
+        }
+        b.end_epoch();
+    });
+    // "probing": opened, then served its full cooldown → half-open.
+    registry.with_breaker("probing", &policy, |b| {
+        for a in b.plan_epoch(4) {
+            if a != Admission::ShortCircuit {
+                b.observe(a, JobSignal::Failure);
+            }
+        }
+        b.end_epoch();
+        for _ in 0..8 {
+            let _ = b.plan_epoch(1);
+            b.end_epoch();
+        }
+    });
+
+    let engine = ServeEngine::with_registry(
+        ServeConfig {
+            workers: 1,
+            seed: 8,
+            ..ServeConfig::default()
+        },
+        clean_factory(),
+        Arc::clone(&registry),
+    );
+    let server =
+        TransportServer::bind("127.0.0.1:0", TransportConfig::default(), engine).expect("bind");
+    let client = TransportClient::new(server.local_addr());
+
+    let health = client.healthz().expect("healthz");
+    let breakers = health.get("breakers").expect("breakers section");
+    for (key, snap) in registry.snapshots() {
+        let entry = breakers
+            .get(&key)
+            .unwrap_or_else(|| panic!("breaker '{key}' missing from /healthz"));
+        // The state document is exactly the wire encoding.
+        assert_eq!(
+            entry.get("state").map(Json::to_json),
+            Some(qnat_transport::wire::breaker_state_to_json(&snap.state).to_json()),
+            "state encoding for '{key}'"
+        );
+        assert_eq!(
+            entry.get("trips").and_then(Json::as_usize),
+            Some(snap.trips as usize)
+        );
+        assert_eq!(
+            entry.get("recoveries").and_then(Json::as_usize),
+            Some(snap.recoveries as usize)
+        );
+    }
+    // And the three states render distinctly.
+    let state_of = |key: &str| {
+        breakers
+            .get(key)
+            .and_then(|e| e.get("state"))
+            .and_then(|s| s.get("state"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    assert_eq!(state_of("steady").as_deref(), Some("closed"));
+    assert_eq!(state_of("tripped").as_deref(), Some("open"));
+    assert_eq!(state_of("probing").as_deref(), Some("half_open"));
+    assert_eq!(
+        breakers
+            .get("tripped")
+            .and_then(|e| e.get("state"))
+            .and_then(|s| s.get("cooldown_left"))
+            .and_then(Json::as_usize),
+        Some(7),
+        "open state carries its cooldown counter"
+    );
+    server.shutdown();
+}
+
+/// A front door bound with a fleet health section exposes the router's
+/// per-device view (quarantine flags, load, breakers, noise estimates)
+/// under `/healthz`'s `fleet` key.
+#[test]
+fn healthz_serves_the_fleet_section() {
+    use qnat_core::executor::ResilientExecutor as Rx;
+    use qnat_fleet::{FleetConfig, FleetDevice, FleetRouter};
+    use std::sync::Arc;
+
+    let device = |m: qnat_noise::DeviceModel| {
+        FleetDevice::new(m, |_g, seed| {
+            Ok(Rx::new(
+                Box::new(SimulatorBackend::new(seed)),
+                RetryPolicy::default(),
+            ))
+        })
+    };
+    let router = Arc::new(
+        FleetRouter::new(
+            FleetConfig {
+                pilots: 1,
+                hedge: None,
+                ..FleetConfig::default()
+            },
+            vec![device(presets::santiago()), device(presets::lima())],
+        )
+        .expect("fleet"),
+    );
+    // Drive a couple of fleet jobs so breakers and load exist.
+    for k in 0..3 {
+        let t = router.submit(simple_job(k)).expect("submit");
+        router.wait(t).expect("delivered");
+    }
+
+    let engine = ServeEngine::new(
+        ServeConfig {
+            workers: 1,
+            seed: 9,
+            ..ServeConfig::default()
+        },
+        clean_factory(),
+    );
+    let section = {
+        let router = Arc::clone(&router);
+        Arc::new(move || qnat_transport::wire::fleet_health_to_json(&router.health()))
+            as Arc<dyn Fn() -> Json + Send + Sync>
+    };
+    let server = TransportServer::bind_with_health(
+        "127.0.0.1:0",
+        TransportConfig::default(),
+        engine,
+        Some(section),
+    )
+    .expect("bind");
+    let client = TransportClient::new(server.local_addr());
+
+    let health = client.healthz().expect("healthz");
+    let fleet = health.get("fleet").expect("fleet section");
+    let Json::Arr(devices) = fleet else {
+        panic!("fleet section is a device array");
+    };
+    assert_eq!(devices.len(), 2);
+    let names: Vec<&str> = devices
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, vec![presets::santiago().name(), presets::lima().name()]);
+    for d in devices {
+        assert_eq!(d.get("quarantined"), Some(&Json::Bool(false)));
+        assert!(d.get("load").and_then(|l| l.get("running")).is_some());
+        assert!(
+            d.get("noise_estimate").and_then(Json::as_f64).expect("estimate") > 0.0
+        );
+    }
+    // The device that served traffic has a live breaker snapshot.
+    let santiago = &devices[0];
+    let breaker = santiago.get("breaker").expect("breaker field");
+    assert_eq!(
+        breaker.get("state").and_then(|s| s.get("state")).and_then(Json::as_str),
+        Some("closed")
+    );
+    server.shutdown();
 }

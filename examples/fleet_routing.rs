@@ -1,0 +1,170 @@
+//! Fleet routing under fire: three devices front one workload, the
+//! best-calibrated device goes terminally dark mid-run, and the router
+//! keeps the completed-job count at 100% by failing over to the
+//! survivors — with zero client-visible refusals.
+//!
+//! The CI smoke gate runs this example under a timeout: the final
+//! assertions turn a routing regression (lost jobs, missing failover)
+//! into a loud failure.
+//!
+//! ```sh
+//! cargo run --release --example fleet_routing
+//! ```
+
+use quantumnat::core::batch::BatchJob;
+use quantumnat::core::executor::{ResilientExecutor, RetryPolicy};
+use quantumnat::fleet::{FleetConfig, FleetDevice, FleetRouter, QuarantinePolicy};
+use quantumnat::noise::backend::SimulatorBackend;
+use quantumnat::noise::fault::{DriftModel, FaultSpec, FaultyBackend};
+use quantumnat::noise::presets;
+use quantumnat::sim::circuit::Circuit;
+use quantumnat::sim::gate::Gate;
+
+const JOBS: usize = 120;
+/// Global job index at which the preferred device stops answering.
+const DARK_AT: u64 = 30;
+
+fn job(k: usize) -> BatchJob {
+    let mut c = Circuit::new(2);
+    c.push(Gate::ry(0, 0.11 + 0.05 * k as f64));
+    c.push(Gate::cx(0, 1));
+    c.push(Gate::rz(1, 0.2 + 0.03 * k as f64));
+    BatchJob::exact(c)
+}
+
+fn main() {
+    // santiago: the best static calibration, so the router prefers it —
+    // until a hard outage at global job index 30 (every attempt fails,
+    // retries exhausted, breaker trips, quarantine follows).
+    let outage_drift = FaultSpec {
+        gate_drift_per_job: 0.01,
+        readout_drift_per_job: 0.005,
+        drift: DriftModel::RandomWalk,
+        seed: 3,
+        drift_seed: 3,
+        ..FaultSpec::none()
+    };
+    let santiago = FleetDevice::new(presets::santiago(), move |global, seed| {
+        let rate = if global < DARK_AT { 0.0 } else { 1.0 };
+        let spec = FaultSpec {
+            transient_failure_rate: rate,
+            seed,
+            ..outage_drift
+        };
+        Ok(ResilientExecutor::new(
+            Box::new(FaultyBackend::starting_at(
+                SimulatorBackend::new(seed),
+                spec,
+                global,
+            )),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                ..RetryPolicy::default()
+            },
+        ))
+    })
+    .with_faults(outage_drift);
+
+    // athens: flaky (30% transient faults) but survivable with retries.
+    let athens_faults = FaultSpec::transient(0.3, 17);
+    let athens = FleetDevice::emulated(
+        presets::athens(),
+        2,
+        athens_faults,
+        RetryPolicy {
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("athens slices to 2 qubits");
+
+    // lima: the noisiest calibration of the three, but rock steady.
+    let lima = FleetDevice::new(presets::lima(), |_global, seed| {
+        Ok(ResilientExecutor::new(
+            Box::new(SimulatorBackend::new(seed)),
+            RetryPolicy::default(),
+        ))
+    });
+
+    let config = FleetConfig {
+        seed: 0xF1EE7,
+        pilots: 2,
+        engine_workers: 2,
+        // Evict on the first breaker trip: a terminally dark device should
+        // leave the candidate set immediately, not linger half-scored.
+        quarantine: QuarantinePolicy {
+            trip_threshold: 1,
+            ..QuarantinePolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let router =
+        FleetRouter::new(config, vec![santiago, athens, lima]).expect("non-empty fleet builds");
+
+    println!(
+        "fleet: {:?}, {} jobs, preferred device goes dark at global index {DARK_AT}",
+        router.device_names(),
+        JOBS
+    );
+
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|k| router.submit(job(k)).expect("no submission refused"))
+        .collect();
+    let mut completed = 0usize;
+    let mut rescued = 0usize;
+    for (k, t) in tickets.into_iter().enumerate() {
+        let outcome = router.wait(t).expect("every job delivered");
+        assert!(
+            outcome.result.is_ok(),
+            "job {k} lost: {:?} on {}",
+            outcome.result,
+            outcome.device
+        );
+        completed += 1;
+        if outcome.attempts > 1 {
+            rescued += 1;
+        }
+    }
+
+    let stats = router.stats();
+    println!();
+    println!("completed {completed}/{JOBS} jobs ({rescued} needed more than one attempt)");
+    println!(
+        "stats: failovers {}, hedges {} (wins {}), probes {}, quarantined {}, readmitted {}, idle breaker ticks {}",
+        stats.failovers,
+        stats.hedges,
+        stats.hedge_wins,
+        stats.probes,
+        stats.quarantined,
+        stats.readmitted,
+        stats.idle_ticks
+    );
+    println!();
+    println!("device health at drain:");
+    for d in router.health().devices {
+        let breaker = match d.breaker {
+            Some(s) => format!(
+                "{:?} (trips {}, recoveries {}, short-circuited {})",
+                s.state, s.trips, s.recoveries, s.short_circuited
+            ),
+            None => "never tripped".to_owned(),
+        };
+        println!(
+            "  {:<10} quarantined={:<5} noise≈{:.4} breaker: {breaker}",
+            d.name, d.quarantined, d.noise_estimate
+        );
+    }
+
+    // The smoke-gate contract: failover keeps completion at 100% with
+    // zero refusals, and the outage demonstrably exercised failover.
+    assert_eq!(completed, JOBS, "failover must keep completion at 100%");
+    assert_eq!(stats.completed, JOBS as u64);
+    assert_eq!(stats.refused_all_down, 0, "no client-visible refusals");
+    assert!(stats.failovers > 0, "the outage must force failover");
+    assert!(stats.quarantined > 0, "the dark device must be evicted");
+    println!();
+    println!("OK: 100% completion through a mid-run device outage.");
+}

@@ -19,15 +19,23 @@
 #              injection, submit/poll/wait over real TCP; the example
 #              asserts a full graceful drain, the timeout turns an
 #              accept-loop or drain deadlock into a loud failure)
-#   6. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
-#              includes qnat-serve's and qnat-transport's unwrap_used
-#              walls)
-#   7. perf:   the batch-, serve-, and transport-throughput acceptance
-#              benches, which assert the 4-worker pool / serving engine
-#              / HTTP front door beats single-threaded submission by
-#              >= 2x on a 64-job workload with real wall-clock backoff
-#              (the transport bench also writes latency percentiles to
-#              results/BENCH_transport.json)
+#   6. fleet:  the multi-device routing suites — router unit tests, the
+#              failover / quarantine-starvation / routing-accuracy e2e
+#              acceptance tests, the bitwise-replay property tests, and
+#              a deadlock-guarded smoke run of the fleet_routing example
+#              (three devices, the preferred one goes terminally dark
+#              mid-run; the example asserts failover keeps the
+#              completed-job count at 100% with zero refusals)
+#   7. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
+#              includes qnat-serve's, qnat-transport's and qnat-fleet's
+#              unwrap_used walls)
+#   8. perf:   the batch-, serve-, transport- and fleet-throughput
+#              acceptance benches, which assert the 4-worker pool /
+#              serving engine / HTTP front door / routed fleet beats
+#              single-threaded submission by >= 2x on a 64-job workload
+#              with real wall-clock backoff (the transport and fleet
+#              benches also write latency percentiles to
+#              results/BENCH_transport.json and results/BENCH_fleet.json)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -59,6 +67,13 @@ echo "== transport: example smoke gate (deadlock-guarded) =="
 cargo build --release --example http_serving
 timeout 120 cargo run --release --example http_serving
 
+echo "== fleet: router unit + e2e + replay property suites =="
+cargo test -q -p qnat-fleet
+
+echo "== fleet: example smoke gate (deadlock-guarded) =="
+cargo build --release --example fleet_routing
+timeout 120 cargo run --release --example fleet_routing
+
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
 
@@ -70,5 +85,8 @@ cargo bench -p qnat-bench --bench serve_throughput
 
 echo "== bench: transport_throughput acceptance gate =="
 cargo bench -p qnat-bench --bench transport_throughput
+
+echo "== bench: fleet_routing acceptance gate =="
+cargo bench -p qnat-bench --bench fleet_routing
 
 echo "CI OK"

@@ -18,6 +18,9 @@
 //!   control, backpressure and priority lanes over the batch pool.
 //! * [`transport`] — the HTTP front door over the serving engine, with a
 //!   lossless JSON wire format and an in-repo blocking client.
+//! * [`fleet`] — the multi-device router: noise- and health-scored device
+//!   selection over a pool of serving engines, with failover, hedged
+//!   retries and breaker-driven quarantine.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use qnat_autodiff as autodiff;
 pub use qnat_compiler as compiler;
 pub use qnat_core as core;
 pub use qnat_data as data;
+pub use qnat_fleet as fleet;
 pub use qnat_noise as noise;
 pub use qnat_serve as serve;
 pub use qnat_sim as sim;
