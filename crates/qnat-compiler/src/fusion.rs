@@ -1,0 +1,251 @@
+//! Gate fusion: collapse a transpiled circuit into a [`FusedCircuit`] of
+//! dense unitaries for fuse-once-run-many execution.
+//!
+//! Two rules, both exact (no approximation beyond f64 reassociation):
+//!
+//! 1. **Single-qubit runs.** Adjacent single-qubit gates on the same qubit
+//!    accumulate into one 2×2 product. Accumulation is *deferred*: a
+//!    pending 2×2 rides along until the qubit meets a two-qubit gate (it
+//!    is then folded into that gate's 4×4) or the circuit ends (it is
+//!    flushed as a [`FusedOp::One`]). Deferral past gates on disjoint
+//!    qubits is sound because operators with disjoint supports commute.
+//! 2. **Two-qubit sandwiches.** A two-qubit gate absorbs every directly
+//!    following gate that acts entirely within its qubit pair — trailing
+//!    single-qubit gates lifted by `I ⊗ ·` / `· ⊗ I`, same-pair two-qubit
+//!    gates directly, reversed-pair gates through a basis permutation —
+//!    so CX-sandwiched runs like `CX·(u₁⊗u₂)·CX` become one 4×4.
+//!
+//! The fused circuit reproduces the unfused one within 1e-12 (pinned by
+//! the proptests in `tests/fusion_props.rs`). Fusion is only valid where
+//! execution is pure-unitary: the hardware emulator interleaves noise
+//! channels after every *physical* gate, so fusing there would change the
+//! noise semantics — callers fuse the noise-free evaluation path only.
+
+use qnat_sim::circuit::Circuit;
+use qnat_sim::fused::{FusedCircuit, FusedOp};
+use qnat_sim::gate::GateMatrix;
+use qnat_sim::math::{kron2, mat2_mul, mat4_mul, C64, Mat2, Mat4};
+
+/// 2×2 identity, the seed for pending single-qubit accumulators.
+const ID2: Mat2 = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+
+/// Reinterprets a 4×4 gate matrix given in the basis
+/// `index = 2·bit(qa) + bit(qb)` as one in the basis
+/// `index = 2·bit(qb) + bit(qa)` — i.e. swaps which qubit each matrix
+/// axis addresses. Basis states 1 (`01`) and 2 (`10`) trade places.
+pub fn swap_qubit_order(m: &Mat4) -> Mat4 {
+    const P: [usize; 4] = [0, 2, 1, 3];
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = m[P[i]][P[j]];
+        }
+    }
+    out
+}
+
+/// Fuses `circuit` into dense per-run unitaries.
+///
+/// The result is semantically identical to the input (within f64
+/// reassociation, ≤ ~1e-15 per op) and usually far shorter: a transpiled
+/// §4.2 QNN block's Euler triples and CX sandwiches collapse to roughly
+/// one op per entangling pair.
+pub fn fuse(circuit: &Circuit) -> FusedCircuit {
+    let n = circuit.n_qubits();
+    let mut out = FusedCircuit::new(n);
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+    let gates = circuit.gates();
+    let mut i = 0;
+    while i < gates.len() {
+        let g = &gates[i];
+        match g.matrix() {
+            GateMatrix::One(m) => {
+                // Later gate multiplies on the left.
+                let q = g.qubits[0];
+                pending[q] = Some(match pending[q] {
+                    Some(p) => mat2_mul(&m, &p),
+                    None => m,
+                });
+                i += 1;
+            }
+            GateMatrix::Two(m) => {
+                let (qa, qb) = (g.qubits[0], g.qubits[1]);
+                // Fold both qubits' pending singles into the 4×4 first
+                // (kron2 puts its first factor on the 2·bit axis = qa).
+                let pa = pending[qa].take().unwrap_or(ID2);
+                let pb = pending[qb].take().unwrap_or(ID2);
+                let mut acc = mat4_mul(&m, &kron2(&pa, &pb));
+                i += 1;
+                // Absorb every following gate fully inside {qa, qb}.
+                while i < gates.len() {
+                    let h = &gates[i];
+                    let inside = if h.arity() == 1 {
+                        h.qubits[0] == qa || h.qubits[0] == qb
+                    } else {
+                        (h.qubits[0] == qa || h.qubits[0] == qb)
+                            && (h.qubits[1] == qa || h.qubits[1] == qb)
+                    };
+                    if !inside {
+                        break;
+                    }
+                    match h.matrix() {
+                        GateMatrix::One(hm) => {
+                            let lifted = if h.qubits[0] == qa {
+                                kron2(&hm, &ID2)
+                            } else {
+                                kron2(&ID2, &hm)
+                            };
+                            acc = mat4_mul(&lifted, &acc);
+                        }
+                        GateMatrix::Two(hm) => {
+                            let aligned = if h.qubits[0] == qa {
+                                hm
+                            } else {
+                                swap_qubit_order(&hm)
+                            };
+                            acc = mat4_mul(&aligned, &acc);
+                        }
+                    }
+                    i += 1;
+                }
+                out.push(FusedOp::Two { qa, qb, m: acc });
+            }
+        }
+    }
+    // Flush pending singles never consumed by a two-qubit gate. Deferral
+    // is exact: each rides only past gates on other qubits, which commute
+    // with it.
+    for (q, p) in pending.iter().enumerate() {
+        if let Some(m) = p {
+            out.push(FusedOp::One { q, m: *m });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnat_sim::fused::simulate_fused;
+    use qnat_sim::gate::Gate;
+    use qnat_sim::math::mat4_is_unitary;
+    use qnat_sim::statevector::simulate;
+
+    fn assert_equivalent(c: &Circuit) {
+        let fused = fuse(c);
+        let psi = simulate(c);
+        let phi = simulate_fused(&fused);
+        for (a, b) in psi.amplitudes().iter().zip(phi.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b} in\n{c}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_run_collapses_to_one_op() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        c.push(Gate::rz(0, 0.4));
+        c.push(Gate::sx(0));
+        c.push(Gate::rz(0, -0.9));
+        let fused = fuse(&c);
+        assert_eq!(fused.len(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn cx_sandwich_collapses_to_one_mat4() {
+        // CX · (u₁⊗u₂) · CX — the canonical sandwich.
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::u3(0, 0.3, 0.1, -0.2));
+        c.push(Gate::u3(1, -0.7, 0.5, 0.9));
+        c.push(Gate::cx(0, 1));
+        let fused = fuse(&c);
+        assert_eq!(fused.len(), 1);
+        match fused.ops()[0] {
+            FusedOp::Two { qa, qb, ref m } => {
+                assert_eq!((qa, qb), (0, 1));
+                assert!(mat4_is_unitary(m, 1e-10));
+            }
+            ref other => panic!("expected one Two op, got {other:?}"),
+        }
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn reversed_pair_gates_absorb_through_permutation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 0));
+        c.push(Gate::cry(1, 0, 0.8));
+        let fused = fuse(&c);
+        assert_eq!(fused.len(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn pending_singles_defer_past_disjoint_gates() {
+        // H(2) must survive a CX on (0,1) and still apply.
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(2));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::ry(2, 0.6));
+        let fused = fuse(&c);
+        // One Two op for the CX, one flushed One op for the q2 run.
+        assert_eq!(fused.len(), 2);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn pending_singles_fold_into_following_two_qubit_gate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::rz(1, 0.3));
+        c.push(Gate::cx(0, 1));
+        let fused = fuse(&c);
+        assert_eq!(fused.len(), 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn interleaved_pairs_break_absorption_correctly() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::h(1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::rzz(0, 1, 0.4));
+        c.push(Gate::swap(0, 2));
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn empty_and_identity_circuits() {
+        let c = Circuit::new(3);
+        let fused = fuse(&c);
+        assert!(fused.is_empty());
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn fused_ops_stay_unitary() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.push(Gate::u3(q, 0.2 + q as f64, -0.3, 0.7));
+        }
+        for q in 0..3 {
+            c.push(Gate::cu3(q, q + 1, 0.5, 0.1, -0.4));
+        }
+        for op in fuse(&c).ops() {
+            if let FusedOp::Two { m, .. } = op {
+                assert!(mat4_is_unitary(m, 1e-10));
+            }
+        }
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn swap_qubit_order_is_an_involution() {
+        let m = Gate::cu3(0, 1, 0.9, -0.2, 0.4).matrix2();
+        assert_eq!(swap_qubit_order(&swap_qubit_order(&m)), m);
+    }
+}

@@ -27,10 +27,12 @@
 
 pub mod decompose;
 pub mod euler;
+pub mod fusion;
 pub mod mapping;
 pub mod optimize;
 pub mod symbolic;
 pub mod transpile;
 pub mod unitary;
 
+pub use fusion::fuse;
 pub use transpile::{transpile, Transpiled, TranspileOptions};

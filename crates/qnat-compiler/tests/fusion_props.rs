@@ -1,0 +1,95 @@
+//! Property tests: gate fusion is semantics-preserving.
+//!
+//! Random circuits over the *entire* gate library (`GateKind::ALL`) must
+//! produce the same outputs fused and unfused, within 1e-12, on
+//!
+//! * the statevector path (amplitude-by-amplitude — stricter than any
+//!   observable comparison), and
+//! * the density-matrix path, which reuses the statevector kernels through
+//!   the `vec(ρ)` bra/ket isomorphism (ket op on bit `q+n`, conjugated bra
+//!   op on bit `q`) and so exercises `run_fused`'s `conj2`/`conj4` reuse.
+
+use proptest::prelude::*;
+use qnat_compiler::fusion::fuse;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::density::DensityMatrix;
+use qnat_sim::fused::simulate_fused;
+use qnat_sim::gate::{Gate, GateKind};
+use qnat_sim::statevector::simulate;
+
+const N_QUBITS: usize = 3;
+
+/// A random gate of a random kind from `GateKind::ALL`, with random
+/// in-range qubits (distinct for two-qubit kinds) and random angles in the
+/// parameter slots the kind actually reads.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    (
+        0..GateKind::ALL.len(),
+        0..N_QUBITS,
+        1..N_QUBITS,
+        (-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0),
+    )
+        .prop_map(|(k, qa, d, (p0, p1, p2))| {
+            let kind = GateKind::ALL[k];
+            let qb = (qa + d) % N_QUBITS;
+            Gate {
+                kind,
+                qubits: [qa, qb],
+                params: [p0, p1, p2],
+            }
+        })
+}
+
+fn arb_circuit(max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(), 0..max_gates).prop_map(|gates| {
+        let mut c = Circuit::new(N_QUBITS);
+        c.extend(gates);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fused_statevector_matches_unfused(circuit in arb_circuit(24)) {
+        let fused = fuse(&circuit);
+        // Fusion never grows the op count.
+        prop_assert!(fused.len() <= circuit.len().max(1));
+        let psi = simulate(&circuit);
+        let phi = simulate_fused(&fused);
+        for (i, (a, b)) in psi.amplitudes().iter().zip(phi.amplitudes()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, 1e-12),
+                "amp {i}: {a} unfused vs {b} fused in\n{circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_density_matrix_matches_unfused(circuit in arb_circuit(16)) {
+        let fused = fuse(&circuit);
+        let mut rho_u = DensityMatrix::zero_state(N_QUBITS);
+        rho_u.run(&circuit);
+        let mut rho_f = DensityMatrix::zero_state(N_QUBITS);
+        rho_f.run_fused(&fused);
+        let dim = 1usize << N_QUBITS;
+        for r in 0..dim {
+            for c in 0..dim {
+                let a = rho_u.element(r, c);
+                let b = rho_f.element(r, c);
+                prop_assert!(
+                    a.approx_eq(b, 1e-12),
+                    "rho[{r}][{c}]: {a} unfused vs {b} fused in\n{circuit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_is_deterministic(circuit in arb_circuit(16)) {
+        // Same input → identical FusedCircuit, bit for bit. The plan
+        // cache depends on this: a cache hit may not change results.
+        prop_assert_eq!(fuse(&circuit), fuse(&circuit));
+    }
+}

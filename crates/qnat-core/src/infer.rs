@@ -467,6 +467,48 @@ impl Qnn {
         Ok(plans)
     }
 
+    /// Like [`Qnn::route_plan`], but memoized through a shared
+    /// [`PlanCache`](crate::compile_cache::PlanCache): each block is keyed
+    /// on `(logical-circuit fingerprint, device-calibration fingerprint,
+    /// opt_level)` and compiled at most once per key. Repeated serving
+    /// deployments of the same model on the same device skip routing,
+    /// noise-adaptive layout and symbolic lowering entirely.
+    ///
+    /// Cache hits share the compiled plan, so they cannot change results;
+    /// any calibration change (drift, rescale, recalibration) changes the
+    /// device fingerprint and recompiles — the invalidation rule the
+    /// level-3 noise-adaptive layout requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceError`] if the device is too small.
+    pub fn route_plan_cached(
+        &self,
+        device: &DeviceModel,
+        opt_level: u8,
+        cache: &crate::compile_cache::PlanCache,
+    ) -> Result<Vec<BlockPlan>, InvalidDeviceError> {
+        let device_fp = device.fingerprint();
+        let mut plans = Vec::with_capacity(self.blocks().len());
+        for block in self.blocks() {
+            let key = crate::compile_cache::PlanKey {
+                circuit: block.logical.fingerprint(),
+                device: device_fp,
+                opt_level,
+            };
+            let plan = cache.get_or_insert_with(key, || -> Result<BlockPlan, InvalidDeviceError> {
+                let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+                Ok(BlockPlan {
+                    lowered: lower_symbolic(&windowed),
+                    obs,
+                    view,
+                })
+            })?;
+            plans.push((*plan).clone());
+        }
+        Ok(plans)
+    }
+
     /// Transpiles the model for a device. `opt_level ≥ 3` enables the
     /// noise-adaptive initial layout (Table 7); lower levels use the
     /// trivial layout.

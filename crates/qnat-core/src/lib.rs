@@ -45,6 +45,7 @@
 
 pub mod ansatz;
 pub mod batch;
+pub mod compile_cache;
 pub mod encoder;
 pub mod executor;
 pub mod forward;
@@ -61,6 +62,7 @@ pub mod train;
 
 pub use ansatz::DesignSpace;
 pub use batch::{BatchExecutor, BatchJob, BatchOutcome, JobDeadline};
+pub use compile_cache::{CacheStats, PlanCache, PlanKey};
 pub use executor::{
     ExecutionReport, ResilientExecutor, RetryPolicy, Sleeper, ThreadSleeper, VirtualSleeper,
 };

@@ -308,7 +308,13 @@ impl Qnn {
         };
 
         if !with_grads {
-            let psi = qnat_sim::statevector::simulate(&run);
+            // Pure-unitary evaluation runs through the fused IR: adjacent
+            // single-qubit runs and CX sandwiches collapse into dense ops
+            // applied by the branch-free kernels. Exact within f64
+            // reassociation (the fusion proptests pin 1e-12); the adjoint
+            // path below stays gate-by-gate, which gradients require.
+            let fused = qnat_compiler::fusion::fuse(&run);
+            let psi = qnat_sim::fused::simulate_fused(&fused);
             let all = psi.expect_all_z();
             let mut outputs: Vec<f64> =
                 block.obs.iter().map(|&q| all[q]).collect();

@@ -21,14 +21,20 @@
 //!   its recorded [`RoutingTrace`], because per-job seeds stay
 //!   `splitmix64(seed ^ splitmix64(job))` no matter which device ran the
 //!   job (property-pinned in `tests/fleet_props.rs`).
+//! * [`plan_fleet`] — fleet-wide plan precompilation through one shared
+//!   [`qnat_core::compile_cache::PlanCache`]: devices sharing a
+//!   calibration fingerprint share compiled block plans, and redeploying
+//!   against unchanged calibration compiles nothing.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod device;
+pub mod plan;
 pub mod router;
 
 pub use device::{DeviceFactory, FleetDevice};
+pub use plan::{plan_fleet, DevicePlan};
 pub use router::{
     replay_job, AttemptKind, AttemptTrace, DeviceHealthView, Disposition, FleetConfig, FleetError,
     FleetHealth, FleetOutcome, FleetPoll, FleetRouter, FleetStats, FleetTicket, HedgePolicy,

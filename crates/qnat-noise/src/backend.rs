@@ -352,7 +352,14 @@ impl QuantumBackend for SimulatorBackend {
         self.validate(circuit)?;
         check_shots(shots)?;
         let mut psi = StateVector::zero_state(circuit.n_qubits());
-        psi.run(circuit);
+        // `validate` already bounds the register, but route the simulator's
+        // own mismatch check through the typed error path rather than a
+        // panic — defense in depth for release builds.
+        psi.try_run(circuit).map_err(|e| BackendError::QubitCount {
+            needed: e.circuit_qubits,
+            available: e.state_qubits,
+            backend: self.name().to_string(),
+        })?;
         let expectations = match shots {
             None => psi.expect_all_z(),
             Some(s) => {

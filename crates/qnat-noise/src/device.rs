@@ -399,6 +399,26 @@ impl DeviceModel {
         .to_json_pretty()
     }
 
+    /// A 64-bit fingerprint of the full calibration state: FNV-1a over
+    /// the canonical JSON serialization, so *any* observable change —
+    /// name, coupling map, per-qubit error rates, damping, readout,
+    /// calibration drift or a recalibration step — produces a new value.
+    ///
+    /// The compiled-circuit cache in `qnat-core` keys on this: a plan
+    /// compiled against a drifted or recalibrated model (whose
+    /// noise-adaptive layout may differ at transpile level 3) can never be
+    /// served for the updated device.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in self.to_json().as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Parses a model from JSON.
     ///
     /// # Errors
@@ -628,6 +648,17 @@ impl DeviceModelBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_tracks_calibration_state() {
+        let d = toy_device();
+        assert_eq!(d.fingerprint(), d.fingerprint());
+        assert_eq!(d.fingerprint(), d.clone().fingerprint());
+        // Drift and noise scaling both change the fingerprint, so cached
+        // compilation plans cannot survive a calibration change.
+        assert_ne!(d.fingerprint(), d.drifted(1.5, 1.0).fingerprint());
+        assert_ne!(d.fingerprint(), d.scaled(2.0).fingerprint());
+    }
 
     fn toy_device() -> DeviceModel {
         DeviceModel::builder("toy", 3)

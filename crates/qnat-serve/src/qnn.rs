@@ -20,6 +20,7 @@ use crate::engine::{
     AdmissionControl, EngineStats, Lane, LaneConfig, OpenAction, ServeConfig, ServeEngine,
 };
 use qnat_core::batch::BatchJob;
+use qnat_core::compile_cache::PlanCache;
 use qnat_core::executor::{splitmix64, ExecutionReport, ResilientExecutor, RetryPolicy};
 use qnat_core::health::{BreakerPolicy, HealthRegistry};
 use qnat_core::infer::{BlockPlan, ServeBackend};
@@ -61,6 +62,13 @@ pub struct ServingOptions {
     pub deadline_ms: Option<u64>,
     /// Optional enqueue-time admission control (one breaker per block).
     pub admission: Option<ServeAdmission>,
+    /// Optional shared compiled-circuit cache: block plans are looked up
+    /// by `(circuit, device-calibration, opt-level)` fingerprint through
+    /// [`Qnn::route_plan_cached`](qnat_core::model::Qnn::route_plan_cached),
+    /// so repeated deployments of the same model on the same device skip
+    /// transpilation entirely. Hits share the compiled plan and cannot
+    /// change results. `None` compiles fresh every deployment.
+    pub plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for ServingOptions {
@@ -72,6 +80,7 @@ impl Default for ServingOptions {
             bulk: LaneConfig::default(),
             deadline_ms: None,
             admission: None,
+            plan_cache: None,
         }
     }
 }
@@ -121,7 +130,10 @@ impl DeployServing for Qnn {
         faults: Option<FaultSpec>,
         opts: &ServingOptions,
     ) -> Result<ServingQnn<'a>, InvalidDeviceError> {
-        let plans = self.route_plan(device, opt_level)?;
+        let plans = match &opts.plan_cache {
+            Some(cache) => self.route_plan_cached(device, opt_level, cache)?,
+            None => self.route_plan(device, opt_level)?,
+        };
         let registry = Arc::new(HealthRegistry::new());
         let engines = plans
             .iter()

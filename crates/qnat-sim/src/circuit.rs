@@ -199,6 +199,33 @@ impl Circuit {
         v
     }
 
+    /// A 64-bit structural fingerprint of the circuit: FNV-1a over the
+    /// register size and every gate's kind, qubits, and exact parameter
+    /// bits. Two circuits with equal fingerprints are (modulo hash
+    /// collisions) the same gate list, so the compiled-circuit cache keys
+    /// on this — differently-bound parameters hash differently.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.n_qubits as u64);
+        for g in &self.gates {
+            mix(g.kind as u64);
+            mix(g.qubits[0] as u64);
+            mix(g.qubits[1] as u64);
+            for slot in 0..g.kind.param_count() {
+                mix(g.params[slot].to_bits());
+            }
+        }
+        h
+    }
+
     /// Writes a flat parameter vector back into the gates.
     ///
     /// # Panics
@@ -364,6 +391,28 @@ mod tests {
             let inv = invert_gate(&g);
             assert!(is_inverse_pair(&g, &inv), "inverse wrong for {g}");
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_params() {
+        let a = bell();
+        let b = bell();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different parameter bits → different key.
+        let mut c = Circuit::new(2);
+        c.push(Gate::ry(0, 0.1));
+        let mut d = Circuit::new(2);
+        d.push(Gate::ry(0, 0.2));
+        assert_ne!(c.fingerprint(), d.fingerprint());
+        // Different qubit targets → different key.
+        let mut e = Circuit::new(2);
+        e.push(Gate::ry(1, 0.1));
+        assert_ne!(c.fingerprint(), e.fingerprint());
+        // Different register size alone → different key.
+        assert_ne!(
+            Circuit::new(2).fingerprint(),
+            Circuit::new(3).fingerprint()
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::circuit::Circuit;
 use crate::gate::{Gate, GateMatrix};
 use crate::kernels::{apply_mat2, apply_mat4, conj2, conj4};
 use crate::math::C64;
-use crate::statevector::StateVector;
+use crate::statevector::{RegisterMismatchError, StateVector};
 
 /// A mixed quantum state over `n` qubits.
 ///
@@ -70,6 +70,11 @@ impl DensityMatrix {
         1 << self.n_qubits
     }
 
+    /// Mutable `vec(ρ)` access for in-crate kernels (fused execution).
+    pub(crate) fn data_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Matrix element `ρ[r][c]`.
     pub fn element(&self, r: usize, c: usize) -> C64 {
         self.data[r * self.dim() + c]
@@ -117,12 +122,35 @@ impl DensityMatrix {
         }
     }
 
-    /// Runs a whole circuit of unitary gates (no noise).
-    pub fn run(&mut self, circuit: &Circuit) {
-        assert!(circuit.n_qubits() <= self.n_qubits);
+    /// Runs a whole circuit of unitary gates (no noise), or reports a
+    /// register mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterMismatchError`] if the circuit register is larger
+    /// than the state register; the state is left untouched.
+    pub fn try_run(&mut self, circuit: &Circuit) -> Result<(), RegisterMismatchError> {
+        if circuit.n_qubits() > self.n_qubits {
+            return Err(RegisterMismatchError {
+                circuit_qubits: circuit.n_qubits(),
+                state_qubits: self.n_qubits,
+            });
+        }
         for g in circuit.gates() {
             self.apply_gate(g);
         }
+        Ok(())
+    }
+
+    /// Runs a whole circuit of unitary gates (no noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is larger than the state register;
+    /// use [`try_run`](Self::try_run) to handle that as an error.
+    pub fn run(&mut self, circuit: &Circuit) {
+        self.try_run(circuit)
+            .expect("circuit register larger than state register");
     }
 
     /// Applies a single-qubit Kraus channel on qubit `q`:
@@ -165,13 +193,23 @@ impl DensityMatrix {
     }
 
     /// Probability that qubit `q` reads `|1⟩`.
+    ///
+    /// Walks only the diagonal entries with bit `q` set — blocked strides,
+    /// no per-index branch (the diagonal analog of
+    /// [`crate::kernels::prob_one_mass`]).
     pub fn prob_one(&self, q: usize) -> f64 {
         let dim = self.dim();
+        assert!(q < self.n_qubits, "qubit {q} out of range");
         let bit = 1usize << q;
-        (0..dim)
-            .filter(|i| i & bit != 0)
-            .map(|i| self.data[i * dim + i].re)
-            .sum()
+        let mut p = 0.0;
+        let mut base = bit;
+        while base < dim {
+            for i in base..base + bit {
+                p += self.data[i * dim + i].re;
+            }
+            base += bit << 1;
+        }
+        p
     }
 
     /// Pauli-Z expectation on qubit `q`.
@@ -179,19 +217,10 @@ impl DensityMatrix {
         1.0 - 2.0 * self.prob_one(q)
     }
 
-    /// Z expectations for every qubit.
+    /// Z expectations for every qubit (sharing
+    /// [`prob_one`](Self::prob_one)'s diagonal walk).
     pub fn expect_all_z(&self) -> Vec<f64> {
-        let dim = self.dim();
-        let mut p1 = vec![0.0f64; self.n_qubits];
-        for i in 0..dim {
-            let w = self.data[i * dim + i].re;
-            for (q, p) in p1.iter_mut().enumerate() {
-                if i & (1 << q) != 0 {
-                    *p += w;
-                }
-            }
-        }
-        p1.into_iter().map(|p| 1.0 - 2.0 * p).collect()
+        (0..self.n_qubits).map(|q| self.expect_z(q)).collect()
     }
 }
 
@@ -270,6 +299,17 @@ mod tests {
         assert!((rho.trace() - 1.0).abs() < 1e-12);
         assert!(rho.hermiticity_error() < 1e-12);
         assert!(rho.purity() < 1.0);
+    }
+
+    #[test]
+    fn try_run_rejects_oversized_circuit() {
+        let mut rho = DensityMatrix::zero_state(1);
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(1));
+        let err = rho.try_run(&c).unwrap_err();
+        assert_eq!(err.circuit_qubits, 2);
+        assert_eq!(err.state_qubits, 1);
+        assert!((rho.trace() - 1.0).abs() < 1e-15);
     }
 
     #[test]

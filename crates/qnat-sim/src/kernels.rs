@@ -6,50 +6,128 @@
 //! density-matrix simulator reuses them through the `vec(ρ)` isomorphism:
 //! `ρ → UρU†` becomes `(U ⊗ U*)·vec(ρ)`, so a ket-side update targets bit
 //! `q + n` and a bra-side update targets bit `q` with the conjugated matrix.
+//!
+//! ## Layout for auto-vectorization
+//!
+//! Qubit bounds are validated **once** at the (cold) dispatch boundary —
+//! real `assert!`s, active in release builds, because an out-of-range
+//! qubit would otherwise silently corrupt amplitudes or mask the shift
+//! amount. The hot loops then walk the slice through `chunks_exact` /
+//! `split_at_mut` sub-slices whose lengths are fixed per call, so the
+//! compiler can hoist every bounds check out of the inner loop and keep
+//! the loop body branch-free. [`apply_mat4`] enumerates exactly the
+//! `len/4` block-base indices via nested chunking instead of scanning all
+//! `len` indices and discarding three quarters of them.
 
 use crate::math::{C64, Mat2, Mat4};
 
+/// Validates `q` against an amplitude slice of length `len` and returns
+/// the bit mask `1 << q`.
+///
+/// # Panics
+///
+/// Panics if `len` is not a power of two or `q` addresses a bit at or
+/// above `log2(len)`. These are real (release-mode) checks: the hot loops
+/// below rely on them and run branch-free.
+#[inline]
+fn checked_bit(len: usize, q: usize) -> usize {
+    assert!(
+        len.is_power_of_two(),
+        "amplitude slice length {len} is not a power of two"
+    );
+    let n_qubits = len.trailing_zeros() as usize;
+    assert!(
+        q < n_qubits,
+        "qubit {q} out of range for a {n_qubits}-qubit register"
+    );
+    1usize << q
+}
+
 /// Applies a 2×2 matrix to bit `q` of every index of `amps`.
+///
+/// # Panics
+///
+/// Panics if `amps.len()` is not a power of two or `q` is out of range
+/// (checked once, before the branch-free hot loop).
 pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
-    let bit = 1usize << q;
-    let n = amps.len();
-    debug_assert!(bit < n);
-    let mut base = 0usize;
-    while base < n {
-        for low in base..base + bit {
-            let i0 = low;
-            let i1 = low | bit;
-            let a0 = amps[i0];
-            let a1 = amps[i1];
-            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+    let bit = checked_bit(amps.len(), q);
+    let [[m00, m01], [m10, m11]] = *m;
+    // Each 2·bit block splits into a low half (bit clear) and a high half
+    // (bit set); zipping the halves pairs partner amplitudes with no index
+    // arithmetic or bounds checks in the loop body.
+    for block in amps.chunks_exact_mut(bit << 1) {
+        let (lo, hi) = block.split_at_mut(bit);
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x0 = *a0;
+            let x1 = *a1;
+            *a0 = m00 * x0 + m01 * x1;
+            *a1 = m10 * x0 + m11 * x1;
         }
-        base += bit << 1;
     }
 }
 
-/// Applies a 4×4 matrix to bits `(qa, qb)` of every index of `amps`, with the
-/// matrix given in the basis `index = 2·bit(qa) + bit(qb)`.
+/// Applies a 4×4 matrix to bits `(qa, qb)` of every index of `amps`, with
+/// the matrix given in the basis `index = 2·bit(qa) + bit(qb)`.
+///
+/// # Panics
+///
+/// Panics if `amps.len()` is not a power of two, either qubit is out of
+/// range, or `qa == qb` (checked once, before the branch-free hot loop).
 pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
-    debug_assert!(qa != qb);
-    let ba = 1usize << qa;
-    let bb = 1usize << qb;
-    let n = amps.len();
-    debug_assert!(ba < n && bb < n);
-    for i in 0..n {
-        if i & (ba | bb) != 0 {
-            continue;
-        }
-        let idx = [i, i | bb, i | ba, i | ba | bb];
-        let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
-        for (row, &out_i) in idx.iter().enumerate() {
-            let mut acc = C64::ZERO;
-            for (col, &av) in a.iter().enumerate() {
-                acc += m[row][col] * av;
+    let ba = checked_bit(amps.len(), qa);
+    let bb = checked_bit(amps.len(), qb);
+    assert!(qa != qb, "two-qubit kernel addresses qubit {qa} twice");
+    let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+    let [[m00, m01, m02, m03], [m10, m11, m12, m13], [m20, m21, m22, m23], [m30, m31, m32, m33]] =
+        *m;
+    // Nested chunking enumerates exactly the len/4 base indices with both
+    // bits clear: outer blocks of 2·hi split on the high bit, inner blocks
+    // of 2·lo split on the low bit. `hi ≥ 2·lo`, so the inner chunking
+    // tiles each half exactly.
+    for outer in amps.chunks_exact_mut(hi << 1) {
+        let (top, bot) = outer.split_at_mut(hi);
+        for (sub_t, sub_b) in top
+            .chunks_exact_mut(lo << 1)
+            .zip(bot.chunks_exact_mut(lo << 1))
+        {
+            let (t0, t1) = sub_t.split_at_mut(lo);
+            let (b0, b1) = sub_b.split_at_mut(lo);
+            // Matrix basis index 1 is "bb set only", index 2 "ba set only":
+            // pick which physical half carries which logical index.
+            let (x1, x2) = if bb == lo { (t1, b0) } else { (b0, t1) };
+            for (((a0, a1), a2), a3) in t0
+                .iter_mut()
+                .zip(x1.iter_mut())
+                .zip(x2.iter_mut())
+                .zip(b1.iter_mut())
+            {
+                let v0 = *a0;
+                let v1 = *a1;
+                let v2 = *a2;
+                let v3 = *a3;
+                *a0 = m00 * v0 + m01 * v1 + m02 * v2 + m03 * v3;
+                *a1 = m10 * v0 + m11 * v1 + m12 * v2 + m13 * v3;
+                *a2 = m20 * v0 + m21 * v1 + m22 * v2 + m23 * v3;
+                *a3 = m30 * v0 + m31 * v1 + m32 * v2 + m33 * v3;
             }
-            amps[out_i] = acc;
         }
     }
+}
+
+/// Probability mass on indices with bit `q` set: `Σ |amps[i]|²` over
+/// `i & (1<<q) != 0`, accumulated block-wise with no per-index branch.
+///
+/// Shared by [`StateVector::prob_one`](crate::statevector::StateVector)
+/// and the measurement helpers.
+///
+/// # Panics
+///
+/// Panics if `amps.len()` is not a power of two or `q` is out of range.
+pub fn prob_one_mass(amps: &[C64], q: usize) -> f64 {
+    let bit = checked_bit(amps.len(), q);
+    amps.chunks_exact(bit << 1)
+        .map(|block| block[bit..].iter().map(|a| a.norm_sqr()).sum::<f64>())
+        .sum()
 }
 
 /// Element-wise conjugate of a 2×2 matrix (not the transpose).
@@ -92,6 +170,74 @@ mod tests {
         for (a, b) in raw.iter().zip(sv.amplitudes()) {
             assert!(a.approx_eq(*b, 1e-14));
         }
+    }
+
+    /// The chunked mat4 kernel agrees with a straightforward reference
+    /// that enumerates blocks by skipping indices with either bit set —
+    /// for both qubit orderings and non-adjacent bits.
+    #[test]
+    fn mat4_kernel_matches_reference() {
+        let reference = |amps: &mut [C64], qa: usize, qb: usize, m: &Mat4| {
+            let ba = 1usize << qa;
+            let bb = 1usize << qb;
+            for i in 0..amps.len() {
+                if i & (ba | bb) != 0 {
+                    continue;
+                }
+                let idx = [i, i | bb, i | ba, i | ba | bb];
+                let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+                for (row, &out_i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, &av) in a.iter().enumerate() {
+                        acc += m[row][col] * av;
+                    }
+                    amps[out_i] = acc;
+                }
+            }
+        };
+        let m = Gate::cu3(0, 1, 0.9, -0.2, 0.4).matrix2();
+        for (qa, qb) in [(0, 1), (1, 0), (0, 3), (3, 0), (1, 3), (2, 1)] {
+            let mut amps: Vec<C64> = (0..16)
+                .map(|i| C64::new(0.1 * i as f64, -0.05 * i as f64 + 0.3))
+                .collect();
+            let mut want = amps.clone();
+            apply_mat4(&mut amps, qa, qb, &m);
+            reference(&mut want, qa, qb, &m);
+            for (a, b) in amps.iter().zip(&want) {
+                assert!(a.approx_eq(*b, 1e-14), "({qa},{qb}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prob_one_mass_matches_enumerated_sum() {
+        let amps: Vec<C64> = (0..8)
+            .map(|i| C64::new(0.2 * i as f64, 0.1 - 0.03 * i as f64))
+            .collect();
+        for q in 0..3 {
+            let bit = 1usize << q;
+            let want: f64 = amps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & bit != 0)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            assert!((prob_one_mass(&amps, q) - want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_is_a_real_check() {
+        let mut amps = vec![C64::ONE; 8];
+        apply_mat2(&mut amps, 3, &Gate::h(0).matrix1());
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_qubits_rejected() {
+        let mut amps = vec![C64::ONE; 8];
+        apply_mat4(&mut amps, 1, 1, &Gate::cx(0, 1).matrix2());
     }
 
     #[test]

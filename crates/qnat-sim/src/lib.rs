@@ -13,6 +13,7 @@
 //! * [`circuit`] — circuits, parameter binding, inversion.
 //! * [`statevector`] — pure-state simulation.
 //! * [`density`] — mixed-state simulation with Kraus channels.
+//! * [`fused`] — the fused-circuit IR executed by the branch-free kernels.
 //! * [`channel`] — Pauli / depolarizing / damping channels.
 //! * [`measure`] — shot sampling and readout confusion.
 //! * [`adjoint`] — adjoint-method gradients (training backend).
@@ -39,6 +40,7 @@ pub mod adjoint;
 pub mod channel;
 pub mod circuit;
 pub mod density;
+pub mod fused;
 pub mod gate;
 pub mod kernels;
 pub mod math;
@@ -49,5 +51,6 @@ pub mod qasm;
 pub mod statevector;
 
 pub use circuit::Circuit;
+pub use fused::{FusedCircuit, FusedOp};
 pub use gate::{Gate, GateKind};
 pub use statevector::StateVector;

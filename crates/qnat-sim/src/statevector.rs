@@ -8,6 +8,32 @@ use crate::circuit::Circuit;
 use crate::gate::{Gate, GateMatrix};
 use crate::math::{C64, Mat2, Mat4};
 
+/// A circuit addressed a register larger than the state it runs on.
+///
+/// Returned by [`StateVector::try_run`] and
+/// [`DensityMatrix::try_run`](crate::density::DensityMatrix::try_run);
+/// the panicking `run` wrappers delegate to these (the repo's
+/// `try_push`/`push` idiom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterMismatchError {
+    /// Register size the circuit requires.
+    pub circuit_qubits: usize,
+    /// Register size the state actually has.
+    pub state_qubits: usize,
+}
+
+impl std::fmt::Display for RegisterMismatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "circuit register ({} qubits) larger than state register ({} qubits)",
+            self.circuit_qubits, self.state_qubits
+        )
+    }
+}
+
+impl std::error::Error for RegisterMismatchError {}
+
 /// A pure quantum state over `n` qubits.
 ///
 /// # Examples
@@ -62,6 +88,11 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude access for in-crate kernels (fused execution).
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
     /// Squared norm ⟨ψ|ψ⟩ (should be 1 for a normalized state).
     pub fn norm_sqr(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
@@ -82,54 +113,23 @@ impl StateVector {
     }
 
     /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range (checked in release builds too).
     pub fn apply_mat2(&mut self, q: usize, m: &Mat2) {
-        debug_assert!(q < self.n_qubits);
-        let bit = 1usize << q;
-        let n = self.amps.len();
-        let mut base = 0usize;
-        while base < n {
-            for low in base..base + bit {
-                let i0 = low;
-                let i1 = low | bit;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
-            }
-            base += bit << 1;
-        }
+        crate::kernels::apply_mat2(&mut self.amps, q, m);
     }
 
     /// Applies a two-qubit unitary given in the basis
     /// `index = 2·bit(qa) + bit(qb)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or `qa == qb` (checked in
+    /// release builds too).
     pub fn apply_mat4(&mut self, qa: usize, qb: usize, m: &Mat4) {
-        debug_assert!(qa < self.n_qubits && qb < self.n_qubits && qa != qb);
-        let ba = 1usize << qa;
-        let bb = 1usize << qb;
-        let n = self.amps.len();
-        for i in 0..n {
-            // Enumerate each 4-amplitude block exactly once via its qa=qb=0 member.
-            if i & (ba | bb) != 0 {
-                continue;
-            }
-            let i00 = i;
-            let i01 = i | bb;
-            let i10 = i | ba;
-            let i11 = i | ba | bb;
-            let a = [
-                self.amps[i00],
-                self.amps[i01],
-                self.amps[i10],
-                self.amps[i11],
-            ];
-            for (row, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                let mut acc = C64::ZERO;
-                for (col, &av) in a.iter().enumerate() {
-                    acc += m[row][col] * av;
-                }
-                self.amps[idx] = acc;
-            }
-        }
+        crate::kernels::apply_mat4(&mut self.amps, qa, qb, m);
     }
 
     /// Applies one gate.
@@ -140,19 +140,34 @@ impl StateVector {
         }
     }
 
+    /// Runs a whole circuit, or reports a register mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterMismatchError`] if the circuit register is larger
+    /// than the state register; the state is left untouched.
+    pub fn try_run(&mut self, circuit: &Circuit) -> Result<(), RegisterMismatchError> {
+        if circuit.n_qubits() > self.n_qubits {
+            return Err(RegisterMismatchError {
+                circuit_qubits: circuit.n_qubits(),
+                state_qubits: self.n_qubits,
+            });
+        }
+        for g in circuit.gates() {
+            self.apply(g);
+        }
+        Ok(())
+    }
+
     /// Runs a whole circuit.
     ///
     /// # Panics
     ///
-    /// Panics if the circuit register is larger than the state register.
+    /// Panics if the circuit register is larger than the state register;
+    /// use [`try_run`](Self::try_run) to handle that as an error.
     pub fn run(&mut self, circuit: &Circuit) {
-        assert!(
-            circuit.n_qubits() <= self.n_qubits,
-            "circuit register larger than state register"
-        );
-        for g in circuit.gates() {
-            self.apply(g);
-        }
+        self.try_run(circuit)
+            .expect("circuit register larger than state register");
     }
 
     /// Probability of measuring basis state `idx`.
@@ -161,14 +176,11 @@ impl StateVector {
     }
 
     /// Probability that qubit `q` reads `|1⟩`.
+    ///
+    /// Single-pass block accumulation shared with the kernels — no
+    /// per-index branch (see [`crate::kernels::prob_one_mass`]).
     pub fn prob_one(&self, q: usize) -> f64 {
-        let bit = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        crate::kernels::prob_one_mass(&self.amps, q)
     }
 
     /// Pauli-Z expectation value on qubit `q`: `⟨Z_q⟩ = P(0) − P(1) ∈ [-1, 1]`.
@@ -176,21 +188,10 @@ impl StateVector {
         1.0 - 2.0 * self.prob_one(q)
     }
 
-    /// Z expectations for every qubit.
+    /// Z expectations for every qubit (one branch-free block pass per
+    /// qubit, sharing [`prob_one`](Self::prob_one)'s implementation).
     pub fn expect_all_z(&self) -> Vec<f64> {
-        let mut p1 = vec![0.0f64; self.n_qubits];
-        for (i, a) in self.amps.iter().enumerate() {
-            let w = a.norm_sqr();
-            if w == 0.0 {
-                continue;
-            }
-            for (q, p) in p1.iter_mut().enumerate() {
-                if i & (1 << q) != 0 {
-                    *p += w;
-                }
-            }
-        }
-        p1.into_iter().map(|p| 1.0 - 2.0 * p).collect()
+        (0..self.n_qubits).map(|q| self.expect_z(q)).collect()
     }
 
     /// Full probability distribution over basis states.
@@ -398,6 +399,20 @@ mod tests {
             psi.apply_channel1_sampled(1, &ch, &mut rng);
             assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn try_run_rejects_oversized_circuit() {
+        let mut psi = StateVector::zero_state(2);
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(2));
+        let err = psi.try_run(&c).unwrap_err();
+        assert_eq!(err.circuit_qubits, 3);
+        assert_eq!(err.state_qubits, 2);
+        // The state is untouched and smaller circuits still run.
+        assert_eq!(psi.probability(0), 1.0);
+        let ok = Circuit::new(2);
+        assert!(psi.try_run(&ok).is_ok());
     }
 
     #[test]

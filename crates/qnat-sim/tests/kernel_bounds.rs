@@ -1,0 +1,71 @@
+//! Regression tests for the kernel dispatch-boundary bounds checks.
+//!
+//! These checks used to be `debug_assert!` only, so in release builds an
+//! out-of-range qubit silently corrupted amplitudes (or shift-overflowed
+//! for q ≥ 64). They are real `assert!`s now; this suite runs in CI under
+//! `--release` (`scripts/ci.sh` sim-bench stage) to keep it that way.
+
+use qnat_sim::gate::Gate;
+use qnat_sim::math::C64;
+use qnat_sim::statevector::StateVector;
+
+fn amps(n_qubits: usize) -> Vec<C64> {
+    let mut v = vec![C64::ZERO; 1 << n_qubits];
+    v[0] = C64::ONE;
+    v
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn mat2_rejects_out_of_range_qubit() {
+    let mut a = amps(3);
+    qnat_sim::kernels::apply_mat2(&mut a, 3, &Gate::h(0).matrix1());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn mat2_rejects_shift_overflow_qubit() {
+    // q = 64 wraps `1usize << q` to 1 on release builds if unchecked —
+    // the very bug the promoted asserts exist to catch.
+    let mut a = amps(2);
+    qnat_sim::kernels::apply_mat2(&mut a, 64, &Gate::h(0).matrix1());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn mat4_rejects_out_of_range_qubit() {
+    let mut a = amps(2);
+    qnat_sim::kernels::apply_mat4(&mut a, 0, 2, &Gate::cx(0, 1).matrix2());
+}
+
+#[test]
+#[should_panic(expected = "twice")]
+fn mat4_rejects_duplicate_qubits() {
+    let mut a = amps(2);
+    qnat_sim::kernels::apply_mat4(&mut a, 1, 1, &Gate::cx(0, 1).matrix2());
+}
+
+#[test]
+#[should_panic(expected = "power of two")]
+fn kernels_reject_non_power_of_two_slice() {
+    let mut a = vec![C64::ONE; 6];
+    qnat_sim::kernels::apply_mat2(&mut a, 0, &Gate::h(0).matrix1());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn prob_one_mass_rejects_out_of_range_qubit() {
+    let a = amps(2);
+    qnat_sim::kernels::prob_one_mass(&a, 2);
+}
+
+#[test]
+#[should_panic(expected = "larger than state register")]
+fn statevector_run_still_panics_via_typed_error_path() {
+    // `run` keeps its panicking contract (it wraps `try_run`'s typed
+    // error), and that contract must hold in release builds too.
+    let mut psi = StateVector::zero_state(1);
+    let mut c = qnat_sim::circuit::Circuit::new(2);
+    c.push(Gate::h(1));
+    psi.run(&c);
+}

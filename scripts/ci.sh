@@ -29,7 +29,14 @@
 #   7. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
 #              includes qnat-serve's, qnat-transport's and qnat-fleet's
 #              unwrap_used walls)
-#   8. perf:   the batch-, serve-, transport- and fleet-throughput
+#   8. sim-bench: the simulator hot-path gate — the kernel bounds-check
+#              regression tests re-run under --release (the checks must
+#              survive optimized builds, not just debug_assert), then the
+#              gate-kernel microbench plus the fused-vs-unfused
+#              acceptance bench, which asserts fused execution of the
+#              §4.2 QNN block sustains >= 2x unfused runs/sec and writes
+#              latency percentiles to results/BENCH_sim.json
+#   9. perf:   the batch-, serve-, transport- and fleet-throughput
 #              acceptance benches, which assert the 4-worker pool /
 #              serving engine / HTTP front door / routed fleet beats
 #              single-threaded submission by >= 2x on a 64-job workload
@@ -76,6 +83,12 @@ timeout 120 cargo run --release --example fleet_routing
 
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
+
+echo "== sim-bench: release-mode kernel bounds regression =="
+cargo test -q --release -p qnat-sim --test kernel_bounds
+
+echo "== sim-bench: fused-vs-unfused acceptance gate =="
+cargo bench -p qnat-bench --bench sim_fused
 
 echo "== bench: batch_throughput acceptance gate =="
 cargo bench -p qnat-bench --bench batch_throughput
