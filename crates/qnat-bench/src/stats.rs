@@ -28,6 +28,33 @@ pub fn latency_percentiles_ms(samples: &mut [Duration]) -> (f64, f64, f64) {
     )
 }
 
+/// The tail quadruple the load harness gates on, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyTails {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile — needs ≥1000 samples to mean more than the
+    /// max; on shorter slices nearest-rank makes it exactly the max,
+    /// which is the honest reading.
+    pub p999: f64,
+}
+
+/// p50/p90/p99/p999 from an **unsorted** sample (sorted internally).
+/// All zeros for an empty sample.
+pub fn latency_tails_ms(samples: &mut [Duration]) -> LatencyTails {
+    samples.sort();
+    LatencyTails {
+        p50: percentile_ms(samples, 50.0).unwrap_or(0.0),
+        p90: percentile_ms(samples, 90.0).unwrap_or(0.0),
+        p99: percentile_ms(samples, 99.0).unwrap_or(0.0),
+        p999: percentile_ms(samples, 99.9).unwrap_or(0.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +97,23 @@ mod tests {
         let mut s = ms(&[9, 1, 5]);
         let (p50, p90, p99) = latency_percentiles_ms(&mut s);
         assert_eq!((p50, p90, p99), (5.0, 9.0, 9.0));
+    }
+
+    #[test]
+    fn p999_guards_empty_and_short_slices() {
+        // Empty: zeros, no underflow.
+        assert_eq!(latency_tails_ms(&mut Vec::new()), LatencyTails::default());
+        // Short slice: p999 collapses to the max — nearest-rank on 3
+        // samples cannot resolve a 1-in-1000 tail.
+        let mut short = ms(&[9, 1, 5]);
+        let tails = latency_tails_ms(&mut short);
+        assert_eq!(tails.p999, 9.0);
+        assert_eq!(tails.p99, 9.0);
+        // Long slice: p999 sits between p99 and the max.
+        let mut long: Vec<Duration> = (1..=2000).map(Duration::from_millis).collect();
+        let tails = latency_tails_ms(&mut long);
+        assert!(tails.p99 < tails.p999, "p999 resolves past p99: {tails:?}");
+        assert!(tails.p999 <= 2000.0);
+        assert_eq!(tails.p999, 1998.0, "nearest rank: round(0.999 * 1999) = 1997");
     }
 }

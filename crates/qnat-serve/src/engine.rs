@@ -304,6 +304,12 @@ pub struct EngineStats {
     pub submitted: u64,
     /// Jobs completed (failures, evictions and fast-fails included).
     pub completed: u64,
+    /// Completions whose result was `Ok` — the goodput numerator a load
+    /// harness or `/healthz` reader wants without replaying outcomes.
+    pub completed_ok: u64,
+    /// Completions whose result was a typed error (evictions and
+    /// fast-fails included). `completed_ok + completed_err == completed`.
+    pub completed_err: u64,
     /// Submissions refused with [`SubmitError::QueueFull`].
     pub rejected_full: u64,
     /// Queued jobs evicted by [`BackpressurePolicy::ShedOldest`].
@@ -381,6 +387,11 @@ impl Shared {
     fn deliver(&self, st: &mut State, ticket: Ticket, outcome: JobOutcome) {
         st.subscribers
             .retain(|tx| tx.send((ticket, outcome.result.clone())).is_ok());
+        if outcome.result.is_ok() {
+            st.stats.completed_ok += 1;
+        } else {
+            st.stats.completed_err += 1;
+        }
         st.ready.insert(ticket, outcome);
         st.stats.completed += 1;
         self.done_cv.notify_all();

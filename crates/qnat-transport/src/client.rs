@@ -1,12 +1,21 @@
-//! The in-repo blocking client: one TCP connection per request (the
-//! server closes after each response), typed decode of every payload.
+//! The in-repo blocking client, now with a pooled keep-alive
+//! connection: calls reuse one TCP connection across requests,
+//! transparently reconnecting when the server closed it (idle timeout,
+//! request cap, drain) and retrying **idempotent GETs** once on a stale
+//! connection. Non-idempotent POSTs are only retried when the *write*
+//! of the request failed — bytes that never reached the server cannot
+//! have been acted on; a POST whose response went missing surfaces the
+//! error instead of risking a duplicate submission.
 //!
-//! This is the client the `transport_e2e` test and the throughput bench
-//! drive — deliberately minimal, deliberately honest about failure: a
-//! non-2xx status comes back as [`ClientError::Status`] with the body
-//! preserved, so tests can assert the 429/503 contract.
+//! This is the client the `transport_e2e` test, the chaos suite and the
+//! load harness drive — deliberately minimal, deliberately honest about
+//! failure: a non-2xx status comes back as [`ClientError::Status`] with
+//! the body preserved, so tests can assert the 429/503 contract.
 
-use crate::http::{read_response, write_request, HttpError, Response};
+use crate::http::{
+    finish_chunks, read_response, write_chunk, write_chunked_request_head, write_request,
+    HttpError, Response,
+};
 use crate::wire::{self, WireError};
 use qnat_core::batch::BatchJob;
 use qnat_json::Json;
@@ -16,6 +25,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which phase of a client call ran out of time.
@@ -141,22 +151,65 @@ pub struct StreamEvent {
     pub result: Result<Measurements, BackendError>,
 }
 
-/// A blocking HTTP client for one front door.
-#[derive(Debug, Clone)]
+/// One line's verdict from the streaming batch submit
+/// (`POST /v1/jobs/stream`): the ticket, or the refusal the line would
+/// have earned as a lone request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSubmit {
+    /// The job was admitted under this ticket.
+    Accepted(Ticket),
+    /// The job was refused (429 queue-full, 503 shed/stopping, 400
+    /// malformed line).
+    Refused {
+        /// The per-item HTTP-equivalent status.
+        status: u16,
+        /// The typed refusal body, as JSON text.
+        body: String,
+    },
+}
+
+/// A pooled keep-alive connection: the buffered read half plus a write
+/// handle over the same socket.
+struct PooledConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A blocking HTTP client for one front door, holding at most one idle
+/// keep-alive connection. Concurrent calls on clones sharing the pool
+/// simply open an extra connection when the pooled one is in use; the
+/// first connection back fills the idle slot, later ones close.
+#[derive(Clone)]
 pub struct TransportClient {
     addr: SocketAddr,
     timeout: Duration,
     connect_timeout: Duration,
+    keep_alive: bool,
+    pool: Arc<Mutex<Option<PooledConn>>>,
+}
+
+impl fmt::Debug for TransportClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransportClient")
+            .field("addr", &self.addr)
+            .field("timeout", &self.timeout)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("keep_alive", &self.keep_alive)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TransportClient {
     /// A client for the server at `addr` with a 30 s per-call
-    /// (read/write) timeout and a 10 s connect timeout.
+    /// (read/write) timeout, a 10 s connect timeout, and connection
+    /// reuse on.
     pub fn new(addr: SocketAddr) -> Self {
         TransportClient {
             addr,
             timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(10),
+            keep_alive: true,
+            pool: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -176,7 +229,16 @@ impl TransportClient {
         self
     }
 
-    fn call(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, ClientError> {
+    /// Disables connection reuse: every call opens (and drops) a fresh
+    /// TCP connection — the pre-keep-alive behaviour, kept as the load
+    /// harness's baseline arm.
+    #[must_use]
+    pub fn without_keep_alive(mut self) -> Self {
+        self.keep_alive = false;
+        self
+    }
+
+    fn connect(&self) -> Result<PooledConn, ClientError> {
         let stream =
             TcpStream::connect_timeout(&self.addr, self.connect_timeout).map_err(|e| {
                 if io_is_timeout(&e) {
@@ -189,18 +251,117 @@ impl TransportClient {
             })?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        let mut writer = stream.try_clone()?;
-        write_request(&mut writer, method, target, body).map_err(|e| {
-            if e.timed_out {
+        // Request/response round trips on a reused connection must not
+        // sit out Nagle's ACK wait.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(PooledConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Takes the idle pooled connection, if any.
+    fn take_pooled(&self) -> Option<PooledConn> {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    /// Returns a still-healthy connection to the idle slot (first one
+    /// back wins; an already-filled slot drops the newcomer).
+    fn park(&self, conn: PooledConn) {
+        let mut slot = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(conn);
+        }
+    }
+
+    /// One request/response over `conn`. `Err((phase-tagged error,
+    /// wrote))` reports whether the request bytes had already been
+    /// flushed when the call failed — the retry-safety signal.
+    fn attempt(
+        conn: &mut PooledConn,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<Response, (ClientError, bool)> {
+        write_request(&mut conn.writer, method, target, body).map_err(|e| {
+            let e = if e.timed_out {
                 ClientError::Timeout {
                     phase: TimeoutPhase::Write,
                 }
             } else {
                 ClientError::Http(e)
-            }
+            };
+            (e, false)
         })?;
-        let mut reader = BufReader::new(stream);
-        Ok(read_response(&mut reader)?)
+        read_response(&mut conn.reader).map_err(|e| (ClientError::from(e), true))
+    }
+
+    /// Whether a failed attempt on a **reused** connection may be
+    /// replayed on a fresh one. A request that never flushed is always
+    /// safe; one that flushed is only safe when idempotent (GET) and
+    /// the failure smells like a stale keep-alive connection (the
+    /// server closed or reset it), not like a server-side timeout.
+    fn retriable(method: &str, wrote: bool, err: &ClientError) -> bool {
+        if !wrote {
+            return true;
+        }
+        if method != "GET" {
+            return false;
+        }
+        match err {
+            ClientError::Io(_) => true,
+            // "no response" = clean EOF before any status line — the
+            // classic stale keep-alive race.
+            ClientError::Http(e) => e.reason.contains("no response"),
+            _ => false,
+        }
+    }
+
+    fn call(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, ClientError> {
+        if !self.keep_alive {
+            let mut conn = self.connect()?;
+            return Self::attempt(&mut conn, method, target, body).map_err(|(e, _)| e);
+        }
+        // First try the pooled connection, falling back to (at most) one
+        // fresh connection when the reused one turns out stale.
+        if let Some(mut conn) = self.take_pooled() {
+            match Self::attempt(&mut conn, method, target, body) {
+                Ok(resp) => {
+                    self.maybe_park(conn, &resp);
+                    return Ok(resp);
+                }
+                Err((e, wrote)) => {
+                    // The stale connection is dropped either way.
+                    if !Self::retriable(method, wrote, &e) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let mut conn = self.connect()?;
+        match Self::attempt(&mut conn, method, target, body) {
+            Ok(resp) => {
+                self.maybe_park(conn, &resp);
+                Ok(resp)
+            }
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Parks the connection for reuse unless the server said it is done
+    /// with it (`Connection: close`, or a chunked stream that has no
+    /// reusable framing afterwards).
+    fn maybe_park(&self, conn: PooledConn, resp: &Response) {
+        let closing = resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let streamed = resp
+            .header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        if !closing && !streamed {
+            self.park(conn);
+        }
     }
 
     fn expect_json(resp: &Response) -> Result<Json, ClientError> {
@@ -232,6 +393,83 @@ impl TransportClient {
         Ok(ticket as Ticket)
     }
 
+    /// `POST /v1/jobs/stream`: the streaming submit — ships every job
+    /// as one chunked JSON line over a single connection and returns
+    /// the per-line verdicts in submission order. One connection, one
+    /// round trip, any number of jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only; per-job refusals come back inside
+    /// the [`StreamSubmit`] entries.
+    pub fn submit_stream(
+        &self,
+        jobs: &[(BatchJob, Lane)],
+    ) -> Result<Vec<StreamSubmit>, ClientError> {
+        let mut conn = match self.take_pooled() {
+            Some(conn) if self.keep_alive => conn,
+            _ => self.connect()?,
+        };
+        let sent = (|| -> Result<(), HttpError> {
+            write_chunked_request_head(&mut conn.writer, "POST", "/v1/jobs/stream")?;
+            for (job, lane) in jobs {
+                let line = wire::submit_request_to_json(job, *lane).to_json();
+                write_chunk(&mut conn.writer, &format!("{line}\n"))?;
+            }
+            finish_chunks(&mut conn.writer)
+        })();
+        if let Err(e) = sent {
+            // A half-written chunked body cannot be resumed; a fresh
+            // connection replays the whole batch (nothing flushed to
+            // the engine until the terminator arrives server-side).
+            let mut conn = self.connect()?;
+            write_chunked_request_head(&mut conn.writer, "POST", "/v1/jobs/stream")
+                .map_err(ClientError::from)?;
+            for (job, lane) in jobs {
+                let line = wire::submit_request_to_json(job, *lane).to_json();
+                write_chunk(&mut conn.writer, &format!("{line}\n")).map_err(ClientError::from)?;
+            }
+            finish_chunks(&mut conn.writer).map_err(ClientError::from)?;
+            let resp = read_response(&mut conn.reader)?;
+            let verdicts = Self::decode_stream_submit(&resp)?;
+            self.maybe_park(conn, &resp);
+            drop(e);
+            return Ok(verdicts);
+        }
+        let resp = read_response(&mut conn.reader)?;
+        let verdicts = Self::decode_stream_submit(&resp)?;
+        self.maybe_park(conn, &resp);
+        Ok(verdicts)
+    }
+
+    fn decode_stream_submit(resp: &Response) -> Result<Vec<StreamSubmit>, ClientError> {
+        let v = Self::expect_json(resp)?;
+        let Some(Json::Arr(results)) = v.get("results") else {
+            return Err(ClientError::Wire(WireError {
+                reason: "streaming submit response missing 'results'".into(),
+            }));
+        };
+        results
+            .iter()
+            .map(|item| {
+                if let Some(ticket) = item.get("ticket").and_then(Json::as_f64) {
+                    return Ok(StreamSubmit::Accepted(ticket as Ticket));
+                }
+                let status = item
+                    .get("status")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| WireError {
+                        reason: "streamed verdict missing 'ticket' and 'status'".into(),
+                    })? as u16;
+                let body = item
+                    .get("error")
+                    .map(Json::to_json)
+                    .unwrap_or_default();
+                Ok(StreamSubmit::Refused { status, body })
+            })
+            .collect()
+    }
+
     /// `GET /v1/jobs/{ticket}`: non-blocking poll. `Ok(None)` for a
     /// ticket the server does not know (404).
     ///
@@ -244,7 +482,7 @@ impl TransportClient {
     }
 
     /// `GET /v1/jobs/{ticket}/wait`: blocks server-side until the ticket
-    /// completes or the connection's deadline budget runs out (504).
+    /// completes or the request's deadline budget runs out (504).
     pub fn wait(&self, ticket: Ticket) -> Result<Option<JobOutcome>, ClientError> {
         let resp = self.call("GET", &format!("/v1/jobs/{ticket}/wait"), b"")?;
         match Self::decode_status(&resp)? {
@@ -322,7 +560,7 @@ impl TransportClient {
     }
 
     /// `GET /healthz`: the raw health document (lane depths, engine
-    /// counters, breaker states).
+    /// counters + load, transport counters, breaker states).
     pub fn healthz(&self) -> Result<Json, ClientError> {
         let resp = self.call("GET", "/healthz", b"")?;
         Self::expect_json(&resp)

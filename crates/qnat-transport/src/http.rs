@@ -1,12 +1,17 @@
 //! Minimal HTTP/1.1 over `std::io`: just enough protocol for the front
 //! door and its in-repo client, with hard limits instead of trust.
 //!
-//! The server speaks one-request-per-connection HTTP (every response
-//! carries `Connection: close`), except `GET /v1/stream`, which holds
-//! the connection open and pushes completions with chunked
-//! transfer-encoding. Requests are parsed from any `BufRead` and
-//! responses written to any `Write`, so the codec unit-tests run on
-//! in-memory buffers; sockets only appear in the server and client.
+//! The server speaks persistent-connection HTTP/1.1: responses default
+//! to `Connection: keep-alive` and the connection serves many requests
+//! until the client sends `Connection: close`, the idle timeout fires,
+//! or the per-connection request cap is reached (the final response
+//! then carries `Connection: close`). `GET /v1/stream` holds the
+//! connection open and pushes completions with chunked
+//! transfer-encoding; chunked request *bodies* are also accepted, which
+//! is how the streaming batch submit ships many jobs on one connection.
+//! Requests are parsed from any `BufRead` and responses written to any
+//! `Write`, so the codec unit-tests run on in-memory buffers; sockets
+//! only appear in the server and client.
 
 use std::error::Error;
 use std::fmt;
@@ -88,6 +93,13 @@ impl Request {
             (k == key).then_some(v)
         })
     }
+
+    /// `true` when the client asked the server to close the connection
+    /// after this response (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Reads one CRLF- (or LF-) terminated line, enforcing
@@ -154,16 +166,21 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         }
     }
 
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
     let mut body = Vec::new();
-    let content_length = headers
+    if chunked {
+        body = read_chunked_body(reader)?;
+    } else if let Some(len) = headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
                 .map_err(|_| HttpError::new(format!("bad content-length '{v}'")))
         })
-        .transpose()?;
-    if let Some(len) = content_length {
+        .transpose()?
+    {
         if len > MAX_BODY_BYTES {
             return Err(HttpError::new("request body over limit"));
         }
@@ -180,6 +197,51 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         headers,
         body,
     }))
+}
+
+/// Reassembles a chunked request body, rejecting the malformed shapes a
+/// hostile client can send: a non-hex chunk-size line, an oversized
+/// chunk (alone or cumulatively past [`MAX_BODY_BYTES`]), chunk data
+/// not terminated by CRLF, and a stream that ends before the
+/// zero-length terminator chunk ("truncated trailer").
+fn read_chunked_body(reader: &mut impl BufRead) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader)?
+            .ok_or_else(|| HttpError::new("connection closed before chunk terminator"))?;
+        // Chunk extensions (";ext=val") are allowed by the RFC; strip
+        // them rather than trusting them.
+        let size_token = size_line
+            .split(';')
+            .next()
+            .unwrap_or_default()
+            .trim();
+        let size = usize::from_str_radix(size_token, 16)
+            .map_err(|_| HttpError::new(format!("bad chunk size '{size_line}'")))?;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then an empty
+            // line. EOF before the blank line is a truncated trailer.
+            loop {
+                let trailer = read_line(reader)?
+                    .ok_or_else(|| HttpError::new("connection closed in chunk trailer"))?;
+                if trailer.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if size > MAX_BODY_BYTES || body.len() + size > MAX_BODY_BYTES {
+            return Err(HttpError::new("chunked body over limit"));
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        reader
+            .read_exact(&mut chunk)
+            .map_err(|e| HttpError::from_io(&e))?;
+        if &chunk[size..] != b"\r\n" {
+            return Err(HttpError::new("chunk data not CRLF-terminated"));
+        }
+        chunk.truncate(size);
+        body.append(&mut chunk);
+    }
 }
 
 /// Reason phrase for the status codes this transport emits.
@@ -199,6 +261,30 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
+/// Writes a complete response (`Content-Type: application/json`) with
+/// an explicit connection disposition: `close: false` advertises
+/// `Connection: keep-alive` so the peer may send another request on the
+/// same socket, `close: true` tells it this response is the last.
+pub fn write_response_conn(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> Result<(), HttpError> {
+    // One write for head + body: a split write on a keep-alive
+    // connection trips Nagle + delayed-ACK (~40 ms per request).
+    let message = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        status_text(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    writer
+        .write_all(message.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| HttpError::from_io(&e))
+}
+
 /// Writes a complete single-shot response (`Connection: close`,
 /// `Content-Type: application/json`).
 pub fn write_response(
@@ -206,16 +292,7 @@ pub fn write_response(
     status: u16,
     body: &str,
 ) -> Result<(), HttpError> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        status_text(status),
-        body.len(),
-    );
-    writer
-        .write_all(head.as_bytes())
-        .and_then(|()| writer.write_all(body.as_bytes()))
-        .and_then(|()| writer.flush())
-        .map_err(|e| HttpError::from_io(&e))
+    write_response_conn(writer, status, body, true)
 }
 
 /// Starts a chunked (streaming) response; follow with [`write_chunk`]
@@ -234,10 +311,10 @@ pub fn write_chunked_head(writer: &mut impl Write, status: u16) -> Result<(), Ht
 /// Writes one chunk of a streaming response and flushes it so the
 /// subscriber sees the completion promptly.
 pub fn write_chunk(writer: &mut impl Write, data: &str) -> Result<(), HttpError> {
+    // Single write per chunk (size line + payload + terminator) for the
+    // same Nagle reason as `write_response_conn`.
     writer
-        .write_all(format!("{:x}\r\n", data.len()).as_bytes())
-        .and_then(|()| writer.write_all(data.as_bytes()))
-        .and_then(|()| writer.write_all(b"\r\n"))
+        .write_all(format!("{:x}\r\n{data}\r\n", data.len()).as_bytes())
         .and_then(|()| writer.flush())
         .map_err(|e| HttpError::from_io(&e))
 }
@@ -349,20 +426,42 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
     })
 }
 
-/// Writes a request as the client sends it.
+/// Writes a request as the client sends it. The pooled client keeps
+/// its connection, so requests advertise `Connection: keep-alive`.
 pub fn write_request(
     writer: &mut impl Write,
     method: &str,
     target: &str,
     body: &[u8],
 ) -> Result<(), HttpError> {
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    // Head and body go out in one write — see `write_response_conn` on
+    // the Nagle + delayed-ACK trap split writes set on reused
+    // connections.
+    let mut message = format!(
+        "{method} {target} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
         body.len(),
+    )
+    .into_bytes();
+    message.extend_from_slice(body);
+    writer
+        .write_all(&message)
+        .and_then(|()| writer.flush())
+        .map_err(|e| HttpError::from_io(&e))
+}
+
+/// Starts a chunked (streaming) request — the streaming batch submit's
+/// head. Follow with [`write_chunk`] per payload line and
+/// [`finish_chunks`] to terminate the body.
+pub fn write_chunked_request_head(
+    writer: &mut impl Write,
+    method: &str,
+    target: &str,
+) -> Result<(), HttpError> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\nconnection: keep-alive\r\n\r\n",
     );
     writer
         .write_all(head.as_bytes())
-        .and_then(|()| writer.write_all(body))
         .and_then(|()| writer.flush())
         .map_err(|e| HttpError::from_io(&e))
 }
@@ -409,6 +508,66 @@ mod tests {
         let resp = read_response(&mut BufReader::new(&out[..])).expect("read");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.text().expect("utf8"), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn chunked_request_body_reassembles() {
+        let raw = b"POST /v1/jobs/stream HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nabcd\r\n3;ext=1\r\nefg\r\n0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .expect("read")
+            .expect("a request");
+        assert_eq!(req.body, b"abcdefg");
+    }
+
+    #[test]
+    fn malformed_chunked_bodies_are_typed_errors() {
+        let parse = |raw: &[u8]| {
+            let framed = [
+                b"POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".as_slice(),
+                raw,
+            ]
+            .concat();
+            read_request(&mut BufReader::new(&framed[..]))
+        };
+        // Bad chunk-size line: not hex.
+        let e = parse(b"zz\r\nabcd\r\n0\r\n\r\n").expect_err("bad size");
+        assert!(e.reason.contains("bad chunk size"), "{e}");
+        // Truncated trailer: stream ends before the blank line.
+        let e = parse(b"4\r\nabcd\r\n0\r\n").expect_err("truncated trailer");
+        assert!(e.reason.contains("trailer"), "{e}");
+        // Stream ends before the zero chunk at all.
+        let e = parse(b"4\r\nabcd\r\n").expect_err("no terminator");
+        assert!(e.reason.contains("terminator"), "{e}");
+        // Oversized chunk.
+        let e = parse(format!("{:x}\r\n", MAX_BODY_BYTES + 1).as_bytes())
+            .expect_err("oversized");
+        assert!(e.reason.contains("over limit"), "{e}");
+        // Chunk data not CRLF-terminated (size lies short).
+        let e = parse(b"2\r\nabcd\r\n0\r\n\r\n").expect_err("bad terminator");
+        assert!(e.reason.contains("CRLF"), "{e}");
+    }
+
+    #[test]
+    fn keep_alive_framing_round_trips_two_requests() {
+        let mut out = Vec::new();
+        write_request(&mut out, "GET", "/healthz", b"").expect("write");
+        write_request(&mut out, "GET", "/v1/jobs/3", b"").expect("write");
+        let mut reader = BufReader::new(&out[..]);
+        let first = read_request(&mut reader).expect("read").expect("first");
+        let second = read_request(&mut reader).expect("read").expect("second");
+        assert_eq!(first.path, "/healthz");
+        assert_eq!(second.path, "/v1/jobs/3");
+        assert!(!first.wants_close(), "client requests keep the connection");
+        assert_eq!(read_request(&mut reader).expect("eof"), None);
+
+        let mut out = Vec::new();
+        write_response_conn(&mut out, 200, "{}", false).expect("keep");
+        write_response_conn(&mut out, 200, "{}", true).expect("close");
+        let mut reader = BufReader::new(&out[..]);
+        let kept = read_response(&mut reader).expect("read");
+        let closed = read_response(&mut reader).expect("read");
+        assert_eq!(kept.header("connection"), Some("keep-alive"));
+        assert_eq!(closed.header("connection"), Some("close"));
     }
 
     #[test]

@@ -13,22 +13,37 @@
 //!   parity between a served workload and the same jobs through
 //!   `deploy_batch`.
 //! * [`http`] — a minimal request/response/chunked codec over
-//!   `BufRead`/`Write`, with hard size limits.
-//! * [`server`] — the bounded accept/worker loop, route dispatch,
-//!   per-connection [`qnat_core::health::DeadlineBudget`] driving both
-//!   socket timeouts and the `/wait` poll pacing, graceful drain.
-//! * [`client`] — one-connection-per-request blocking client with typed
-//!   errors that preserve the 429/503 contract.
+//!   `BufRead`/`Write`, with hard size limits; keep-alive framing and
+//!   chunked request bodies included.
+//! * [`server`] — the bounded accept/worker loop serving persistent
+//!   (keep-alive) connections, route dispatch, per-request
+//!   [`qnat_core::health::DeadlineBudget`] re-arming with a total
+//!   read-time slow-loris guard, accept-edge 503 shedding at the
+//!   connection limit, overload counters, graceful drain (DESIGN.md
+//!   §14).
+//! * [`client`] — blocking client with a pooled keep-alive connection
+//!   (transparent reconnect-on-stale, idempotent-GET retry), a chunked
+//!   streaming submit, and typed errors that preserve the 429/503
+//!   contract.
+//! * [`chaos`] — a seed-deterministic fault-injecting stream wrapper
+//!   (resets, slow-loris pacing, stalls, corruption) that the
+//!   `transport_chaos` suite drives against a live server.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, StreamEvent, TicketStatus, TimeoutPhase, TransportClient};
+pub use chaos::{ChaosMode, ChaosPlan, ChaosStream};
+pub use client::{
+    ClientError, StreamEvent, StreamSubmit, TicketStatus, TimeoutPhase, TransportClient,
+};
 pub use http::{HttpError, Request, Response};
-pub use server::{HealthSection, TransportConfig, TransportServer};
+pub use server::{
+    HealthSection, TransportConfig, TransportMetrics, TransportServer, TransportSnapshot,
+};
 pub use wire::WireError;

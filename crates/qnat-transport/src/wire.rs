@@ -592,6 +592,28 @@ pub fn fleet_health_to_json(health: &FleetHealth) -> Json {
     )
 }
 
+/// Renders the transport-level overload counters as the `/healthz`
+/// `transport` section — the observable half of the keep-alive /
+/// shedding contract (ISSUE 8). The snapshot-exactness test pins every
+/// field, so a counter added to [`crate::server::TransportSnapshot`]
+/// must be added here too.
+pub fn transport_snapshot_to_json(snap: &crate::server::TransportSnapshot) -> Json {
+    Json::obj([
+        ("active_connections", Json::Num(snap.active_connections as f64)),
+        (
+            "connections_accepted",
+            Json::Num(snap.connections_accepted as f64),
+        ),
+        ("connections_shed", Json::Num(snap.connections_shed as f64)),
+        ("keepalive_reuses", Json::Num(snap.keepalive_reuses as f64)),
+        ("requests_served", Json::Num(snap.requests_served as f64)),
+        ("timeouts_408", Json::Num(snap.timeouts_408 as f64)),
+        ("bad_requests_400", Json::Num(snap.bad_requests_400 as f64)),
+        ("rejected_429", Json::Num(snap.rejected_429 as f64)),
+        ("unavailable_503", Json::Num(snap.unavailable_503 as f64)),
+    ])
+}
+
 /// Convenience: an object from owned-key pairs (healthz breaker maps).
 pub fn obj_from(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
     Json::Obj(pairs.into_iter().collect::<BTreeMap<_, _>>())

@@ -170,6 +170,19 @@ fn served_workload_bitwise_matches_deploy_batch() {
     assert_eq!(via_batch.block_outputs[0], outputs);
     assert_eq!(via_batch.report, Some(merged));
 
+    // ISSUE 8 acceptance: the whole workload — 24 submits + 24 waits —
+    // rode ONE keep-alive connection. Parity survives connection reuse.
+    let transport = server.metrics();
+    assert_eq!(
+        transport.connections_accepted, 1,
+        "the pooled client carries the workload on a single connection"
+    );
+    assert_eq!(transport.requests_served, 48, "24 submits + 24 waits");
+    assert_eq!(
+        transport.keepalive_reuses, 47,
+        "every request after the first reused the connection"
+    );
+
     let stats = server.shutdown();
     assert_eq!(stats.submitted, batch.len() as u64);
     assert_eq!(stats.completed, batch.len() as u64);
@@ -638,6 +651,205 @@ fn healthz_serves_the_fleet_section() {
     assert_eq!(
         breaker.get("state").and_then(|s| s.get("state")).and_then(Json::as_str),
         Some("closed")
+    );
+    server.shutdown();
+}
+
+/// ISSUE 8 satellite: the `/healthz` transport section is an exact
+/// [`TransportSnapshot`] — every counter matches the server's own
+/// metrics to the digit after a traffic mix that exercises admissions,
+/// refusals (429), malformed requests (400) and keep-alive reuse.
+#[test]
+fn healthz_transport_section_is_snapshot_exact() {
+    use qnat_transport::TransportSnapshot;
+
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            interactive: LaneConfig::rejecting(1),
+            seed: 9,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+
+    // Traffic: one accepted submit, one 429 refusal, two 404 polls —
+    // all on the pooled keep-alive connection.
+    client.submit(&simple_job(0), Lane::Interactive).expect("fits");
+    match client.submit(&simple_job(1), Lane::Interactive) {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, 429),
+        other => panic!("expected 429, got {other:?}"),
+    }
+    assert!(client.poll(77).expect("poll").is_none());
+    assert!(client.poll(78).expect("poll").is_none());
+
+    // One malformed request on its own throwaway connection → 400.
+    {
+        use std::io::{Read, Write};
+        let mut stream =
+            std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(3)))
+            .expect("timeout");
+        stream.write_all(b"NOT HTTP AT ALL\r\n\r\n").expect("write");
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+        assert!(String::from_utf8_lossy(&sink).starts_with("HTTP/1.1 400"));
+    }
+
+    // Wait for the throwaway connection's slot to come home so the
+    // gauge is stable: only the pooled client connection stays active.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.metrics().active_connections != 1 {
+        assert!(std::time::Instant::now() < deadline, "slot not released");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let health = client.healthz().expect("healthz");
+    let doc = health.get("transport").expect("transport section");
+    let field = |name: &str| -> u64 {
+        doc.get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("transport section missing '{name}'")) as u64
+    };
+    let reported = TransportSnapshot {
+        active_connections: field("active_connections"),
+        connections_accepted: field("connections_accepted"),
+        connections_shed: field("connections_shed"),
+        keepalive_reuses: field("keepalive_reuses"),
+        requests_served: field("requests_served"),
+        timeouts_408: field("timeouts_408"),
+        bad_requests_400: field("bad_requests_400"),
+        rejected_429: field("rejected_429"),
+        unavailable_503: field("unavailable_503"),
+    };
+    // The snapshot inside the health body predates its own response
+    // write by exactly one `requests_served` tick; everything else is
+    // already settled.
+    let now = server.metrics();
+    assert_eq!(
+        TransportSnapshot {
+            requests_served: reported.requests_served + 1,
+            ..reported
+        },
+        now,
+        "health document must be an exact point-in-time snapshot"
+    );
+    // And the absolute values are the predicted ones.
+    assert_eq!(reported.connections_accepted, 2, "pooled client + raw 400");
+    assert_eq!(reported.bad_requests_400, 1);
+    assert_eq!(reported.rejected_429, 1);
+    assert_eq!(reported.connections_shed, 0);
+    assert_eq!(reported.timeouts_408, 0);
+    assert_eq!(reported.unavailable_503, 0);
+    // 4 client requests before healthz + the raw 400.
+    assert_eq!(reported.requests_served, 5);
+    // Requests 2-4 plus the healthz itself reused the pooled connection.
+    assert_eq!(reported.keepalive_reuses, 4);
+
+    server.engine().resume();
+    server.shutdown();
+}
+
+/// The streaming submit: many jobs as one chunked POST on one
+/// connection, with per-line verdicts — accepted tickets stay dense and
+/// refusals carry the 429 they would have earned as lone requests.
+#[test]
+fn streaming_submit_batches_jobs_with_per_line_verdicts() {
+    use qnat_transport::StreamSubmit;
+
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            interactive: LaneConfig::rejecting(4),
+            seed: 10,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    server.engine().pause();
+
+    let jobs: Vec<(BatchJob, Lane)> = (0..6)
+        .map(|k| (simple_job(k), Lane::Interactive))
+        .collect();
+    let verdicts = client.submit_stream(&jobs).expect("streamed submit");
+    assert_eq!(verdicts.len(), 6, "one verdict per line, in order");
+    for (k, v) in verdicts.iter().take(4).enumerate() {
+        assert_eq!(
+            *v,
+            StreamSubmit::Accepted(k as u64),
+            "the first 4 jobs fill the lane with dense tickets"
+        );
+    }
+    for v in &verdicts[4..] {
+        match v {
+            StreamSubmit::Refused { status, body } => {
+                assert_eq!(*status, 429);
+                assert!(body.contains("queue_full"), "typed refusal: {body}");
+            }
+            other => panic!("expected per-line 429s past capacity, got {other:?}"),
+        }
+    }
+
+    // One request, one connection — and the per-line 429s are counted.
+    let transport = server.metrics();
+    assert_eq!(transport.connections_accepted, 1);
+    assert_eq!(transport.requests_served, 1);
+    assert_eq!(transport.rejected_429, 2);
+
+    // The accepted tickets complete normally.
+    server.engine().resume();
+    for t in 0..4u64 {
+        let outcome = client.wait(t).expect("wait").expect("known ticket");
+        assert!(outcome.result.is_ok());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.rejected_full, 2);
+}
+
+/// Pooled-connection staleness: a server that caps requests per
+/// connection (advertising `Connection: close`) or reaps idle
+/// connections never surfaces an error through the client — calls
+/// transparently reconnect, including the idempotent-GET retry when the
+/// server closed a parked connection behind the client's back.
+#[test]
+fn pooled_client_survives_connection_caps_and_idle_reaping() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 1,
+            seed: 11,
+            ..ServeConfig::default()
+        },
+        TransportConfig {
+            max_requests_per_connection: 2,
+            idle_timeout_ms: 150,
+            ..TransportConfig::default()
+        },
+    );
+
+    // Four calls under a 2-requests-per-connection cap: the second
+    // response on each connection advertises the close, so the client
+    // rotates connections without a single failed call.
+    for _ in 0..4 {
+        client.healthz().expect("healthz under the per-connection cap");
+    }
+    assert_eq!(
+        server.metrics().connections_accepted,
+        2,
+        "exactly two requests rode each connection"
+    );
+
+    // Idle reaping: the parked pooled connection outlives the server's
+    // idle window, so the next call finds it stale (clean EOF before
+    // any response byte) and must retry on a fresh connection.
+    std::thread::sleep(Duration::from_millis(400));
+    client.healthz().expect("healthz after the idle reap");
+    assert_eq!(
+        server.metrics().connections_accepted,
+        3,
+        "the stale pooled connection was replaced, not surfaced"
     );
     server.shutdown();
 }

@@ -36,7 +36,17 @@
 #              acceptance bench, which asserts fused execution of the
 #              §4.2 QNN block sustains >= 2x unfused runs/sec and writes
 #              latency percentiles to results/BENCH_sim.json
-#   9. perf:   the batch-, serve-, transport- and fleet-throughput
+#   9. load:   the overload-robustness gate — the socket-level chaos
+#              suite (resets, slow-loris, stalls, corruption against a
+#              live server; no hung workers, no leaked connection
+#              slots), then the open-loop load harness (Poisson +
+#              bursty arrivals, mixed interactive/bulk/malformed
+#              traffic, backend churn mid-run) which writes goodput and
+#              p50/p90/p99/p999 to results/BENCH_load.json and asserts
+#              the overload SLO: p99 stays flat under 429/503 shedding
+#              and the pooled keep-alive client sustains >= 2x the
+#              connection-per-call request rate
+#  10. perf:   the batch-, serve-, transport- and fleet-throughput
 #              acceptance benches, which assert the 4-worker pool /
 #              serving engine / HTTP front door / routed fleet beats
 #              single-threaded submission by >= 2x on a 64-job workload
@@ -89,6 +99,13 @@ cargo test -q --release -p qnat-sim --test kernel_bounds
 
 echo "== sim-bench: fused-vs-unfused acceptance gate =="
 cargo bench -p qnat-bench --bench sim_fused
+
+echo "== load: socket-level chaos suite =="
+cargo test -q --release -p qnat-transport --test transport_chaos
+
+echo "== load: open-loop load harness SLO gate (deadlock-guarded) =="
+cargo build --release -p qnat-bench --bin load_harness
+timeout 180 cargo run --release -p qnat-bench --bin load_harness
 
 echo "== bench: batch_throughput acceptance gate =="
 cargo bench -p qnat-bench --bench batch_throughput
