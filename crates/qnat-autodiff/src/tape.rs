@@ -24,6 +24,7 @@ enum Op {
     Scale(Var, f64),
     AddScalar(Var),
     Sqrt(Var),
+    Sigmoid(Var),
     Mean(Var),
     Sum(Var),
     MeanAxis0(Var),
@@ -212,6 +213,35 @@ impl Tape {
             self.nodes[a.0].value.shape().to_vec(),
         );
         self.push(Op::Sqrt(a), t, None)
+    }
+
+    /// Element-wise logistic sigmoid `1 / (1 + e^{-x})`.
+    ///
+    /// The output is used by the calibration tracker to squash a linear
+    /// feature score into a `[0, 1]` error-rate estimate; the backward pass
+    /// reuses the stored output (`s·(1-s)`), so extreme inputs saturate to
+    /// exactly 0 or 1 with a vanishing, never non-finite, gradient.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = Tensor::new(
+            self.nodes[a.0]
+                .value
+                .data()
+                .iter()
+                .map(|&x| {
+                    // Branch on sign for numerical stability: exp of a large
+                    // positive argument overflows to inf, but both forms
+                    // below only ever exponentiate non-positive values.
+                    if x >= 0.0 {
+                        1.0 / (1.0 + (-x).exp())
+                    } else {
+                        let e = x.exp();
+                        e / (1.0 + e)
+                    }
+                })
+                .collect(),
+            self.nodes[a.0].value.shape().to_vec(),
+        );
+        self.push(Op::Sigmoid(a), t, None)
     }
 
     /// Mean over all elements (scalar output).
@@ -525,6 +555,18 @@ impl Tape {
                     );
                     give(*a, ga, &mut grads);
                 }
+                Op::Sigmoid(a) => {
+                    let out = &self.nodes[idx].value;
+                    let ga = Tensor::new(
+                        g.data()
+                            .iter()
+                            .zip(out.data())
+                            .map(|(&gv, &sv)| gv * sv * (1.0 - sv))
+                            .collect(),
+                        g.shape().to_vec(),
+                    );
+                    give(*a, ga, &mut grads);
+                }
                 Op::Mean(a) => {
                     let ta = &self.nodes[a.0].value;
                     let n = ta.len() as f64;
@@ -730,6 +772,32 @@ mod tests {
             },
             input,
         );
+    }
+
+    #[test]
+    fn sigmoid_gradients() {
+        let input = Tensor::vector(vec![-2.0, -0.4, 0.0, 0.7, 3.1]);
+        check_all(
+            |t, x| {
+                let s = t.sigmoid(x);
+                let sq = t.mul(s, s);
+                t.mean(sq)
+            },
+            input,
+        );
+    }
+
+    #[test]
+    fn sigmoid_saturates_without_overflow() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::vector(vec![-800.0, 800.0]));
+        let s = t.sigmoid(x);
+        assert_eq!(t.value(s).data(), &[0.0, 1.0]);
+        let m = t.mean(s);
+        let g = t.backward(m);
+        for &gv in g.get(x, &t).data() {
+            assert!(gv.is_finite());
+        }
     }
 
     #[test]

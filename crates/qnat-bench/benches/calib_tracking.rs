@@ -1,0 +1,431 @@
+//! Calibration-tracking accuracy and latency (ISSUE 9 acceptance bench).
+//!
+//! The pitch of `qnat-calib` is that *learned* per-device error estimates
+//! beat frozen presets once hardware drifts: a fleet whose preferred
+//! device degrades through an **undeclared** coupled drift trajectory
+//! (`FaultSpec::failure_drift_coupling`) wastes attempts under
+//! `ScorePolicy::Static` — the static score keeps sending jobs into the
+//! failure ramp — while `ScorePolicy::Predicted` learns the ramp from
+//! the report stream and routes around it.
+//!
+//! Measures, over RandomWalk and StepRecalibration heavy-drift
+//! scenarios with identical seeds and workloads:
+//!
+//! * **accuracy-per-attempt** (delivered successes / total attempts
+//!   consumed) for Static vs Predicted routing — the gate requires
+//!   Predicted to win both scenarios;
+//! * **prediction Brier score** — the tracker's attempt-weighted
+//!   prequential mean *squared* error on the drifting device vs a
+//!   frozen-preset baseline that always predicts the base (undrifted)
+//!   failure rate — the gate requires the tracker to beat the frozen
+//!   baseline on both scenarios. The weighting and the squaring are
+//!   both load-bearing: the per-delivery labels are noisy ratios
+//!   (mostly 0, occasionally 1/2, 2/3, 1), so MAE is minimized by the
+//!   label *median* and even unweighted squared error is minimized by
+//!   the mean-of-ratios — both sit below the per-attempt rate the
+//!   estimators actually predict, handing an unearned win to any
+//!   frozen low guess. Attempt-weighted squared error is minimized by
+//!   `Σ failures / Σ attempts`, the per-attempt rate itself. MAE is
+//!   still reported alongside for context;
+//! * **tracker update latency** p50/p90/p99 over a synthetic
+//!   observation stream (the cost added to the pilot delivery path).
+//!
+//! Writes `results/BENCH_calib.json` and fails loudly on gate misses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qnat_bench::stats::latency_percentiles_ms;
+use qnat_calib::{CalibConfig, CalibrationTracker};
+use qnat_core::batch::BatchJob;
+use qnat_core::executor::{BackendUsage, ResilientExecutor, RetryPolicy};
+use qnat_fleet::{
+    Disposition, FleetConfig, FleetDevice, FleetRouter, QuarantinePolicy, ScorePolicy,
+};
+use qnat_json::Json;
+use qnat_noise::backend::SimulatorBackend;
+use qnat_noise::fault::{DriftModel, FaultSpec, FaultyBackend};
+use qnat_noise::presets;
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::Gate;
+use std::time::{Duration, Instant};
+
+const JOBS: usize = 150;
+const SEED: u64 = 0xCA11B;
+/// Base (undrifted) transient-failure rate of the drifting device — low
+/// enough that the static score's preference for it is defensible at
+/// calibration time.
+const BASE_RATE: f64 = 0.08;
+/// Heavy coupling: at drift scale 2 the effective failure rate is
+/// `0.08 · (1 + 5·1) = 0.48`.
+const COUPLING: f64 = 5.0;
+/// RandomWalk step amplitude — ramps the effective failure rate from
+/// ~0.18 to ~0.49 across the run under the pinned trajectory seed.
+const RW_DRIFT_PER_JOB: f64 = 0.08;
+/// StepRecalibration slope — shallower, because the step model pre-pays
+/// up to half a session of baseline drift per recalibration: at 0.02 the
+/// sawtooth peaks around a 0.5 effective failure rate, heavy enough to
+/// matter but below the always-fail regime where the breaker walls the
+/// device off and starves both the static router *and* the tracker of
+/// evidence.
+const STEP_DRIFT_PER_JOB: f64 = 0.02;
+/// Pinned trajectory seed: under [`DriftModel::RandomWalk`] this walk
+/// ramps the effective failure rate upward across the run — "heavy
+/// drift", not a flat or improving trajectory that would make the
+/// frozen preset accidentally competitive.
+const DRIFT_SEED: u64 = 0;
+/// Executor attempts per *terminally failed* routing round, per device
+/// (drifting device's `max_attempts` = 3, steady's default = 4) — a
+/// failed round means retries were exhausted.
+const DRIFTY_MAX_ATTEMPTS: usize = 3;
+const STEADY_MAX_ATTEMPTS: usize = 4;
+
+fn jobs() -> Vec<BatchJob> {
+    (0..JOBS)
+        .map(|k| {
+            let mut c = Circuit::new(2);
+            c.push(Gate::ry(0, 0.05 * k as f64 + 0.1));
+            c.push(Gate::cx(0, 1));
+            BatchJob::exact(c)
+        })
+        .collect()
+}
+
+fn drift_spec(drift: DriftModel, per_job: f64, seed: u64) -> FaultSpec {
+    FaultSpec {
+        gate_drift_per_job: per_job,
+        readout_drift_per_job: per_job * 0.6,
+        failure_drift_coupling: COUPLING,
+        drift,
+        // One fleet-wide trajectory: fault rolls stay seed-decorrelated
+        // per backend, the calibration ramp is shared and pinned.
+        drift_seed: DRIFT_SEED,
+        ..FaultSpec::transient(BASE_RATE, seed)
+    }
+}
+
+/// The statically-preferred device whose health decays along an
+/// undeclared drift trajectory: the router's static view stays the clean
+/// preset; only the report stream betrays the ramp.
+fn drifting_device(drift: DriftModel, per_job: f64) -> FleetDevice {
+    FleetDevice::new(presets::santiago(), move |global, seed| {
+        Ok(ResilientExecutor::new(
+            Box::new(FaultyBackend::starting_at(
+                SimulatorBackend::new(seed),
+                drift_spec(drift, per_job, seed),
+                global,
+            )),
+            RetryPolicy {
+                max_attempts: DRIFTY_MAX_ATTEMPTS,
+                ..RetryPolicy::default()
+            },
+        ))
+    })
+}
+
+fn steady_device() -> FleetDevice {
+    FleetDevice::new(presets::quito(), |_global, seed| {
+        Ok(ResilientExecutor::new(
+            Box::new(SimulatorBackend::new(seed)),
+            RetryPolicy::default(),
+        ))
+    })
+}
+
+struct ScenarioRun {
+    successes: u64,
+    attempts: u64,
+    /// Delivered successes per attempt consumed.
+    accuracy_per_attempt: f64,
+    /// Jobs the drifting device delivered.
+    drifty_serves: u64,
+    /// Tracker's prequential MAE on the drifting device (reported only).
+    tracker_mae: Option<f64>,
+    /// Frozen-preset baseline MAE: always predicts `BASE_RATE`.
+    frozen_mae: Option<f64>,
+    /// Tracker's prequential Brier (mean squared error) on the drifting
+    /// device — the gated metric.
+    tracker_brier: Option<f64>,
+    /// Frozen-preset baseline Brier: always predicts `BASE_RATE`.
+    frozen_brier: Option<f64>,
+}
+
+/// Per-attempt failure label of a delivered outcome, mirroring the
+/// tracker's own evidence extraction.
+fn label(usage: &BackendUsage, ok: bool) -> Option<f64> {
+    if usage.attempts == 0 {
+        return (usage.fast_failed_jobs > 0).then_some(1.0);
+    }
+    let terminal = if ok { 0.0 } else { 1.0 };
+    Some(((usage.retries as f64 + terminal) / usage.attempts as f64).clamp(0.0, 1.0))
+}
+
+fn run_scenario(drift: DriftModel, per_job: f64, policy: ScorePolicy) -> ScenarioRun {
+    let drifty_name = presets::santiago().name().to_owned();
+    let router = FleetRouter::new(
+        FleetConfig {
+            seed: SEED,
+            pilots: 1,
+            engine_workers: 1,
+            hedge: None,
+            score_policy: policy,
+            calibration: CalibConfig {
+                min_observations: 6,
+                ..CalibConfig::default()
+            },
+            // Quarantine off: it would eventually wall off the degraded
+            // device under *either* policy and mask the thing this bench
+            // measures — what the scoring policy alone does with the
+            // evidence. Production fleets run both; the breaker still
+            // trips and penalizes here.
+            quarantine: QuarantinePolicy {
+                trip_threshold: u64::MAX,
+                probe_every: u64::MAX,
+            },
+            ..FleetConfig::default()
+        },
+        vec![drifting_device(drift, per_job), steady_device()],
+    )
+    .expect("two-device fleet builds");
+
+    let tickets: Vec<_> = jobs()
+        .into_iter()
+        .map(|j| router.submit(j).expect("bounded queue accepts the batch"))
+        .collect();
+    let outcomes: Vec<_> = tickets
+        .into_iter()
+        .map(|t| router.wait(t).expect("every job delivered"))
+        .collect();
+
+    let successes = outcomes.iter().filter(|o| o.result.is_ok()).count() as u64;
+    // Executor attempts actually burned: the winning round's real count
+    // from its report, plus a full retry budget for every terminally
+    // failed round (that is what "exhausted" means). Fast-failed,
+    // refused and hedge-lost rounds ran nothing.
+    let trace = router.trace();
+    let mut attempts = 0u64;
+    for (jt, o) in trace.jobs.iter().zip(&outcomes) {
+        for (i, at) in jt.attempts.iter().enumerate() {
+            attempts += match &at.disposition {
+                Disposition::Won => {
+                    let ran = CalibrationTracker::report_usage(&o.report).attempts;
+                    ran.max(1) as u64
+                }
+                Disposition::Failed(_) if Some(i) == jt.winner => {
+                    CalibrationTracker::report_usage(&o.report).attempts.max(1) as u64
+                }
+                Disposition::Failed(_) if at.device == drifty_name => {
+                    DRIFTY_MAX_ATTEMPTS as u64
+                }
+                Disposition::Failed(_) => STEADY_MAX_ATTEMPTS as u64,
+                _ => 0,
+            };
+        }
+    }
+    let mut drifty_serves = 0u64;
+    let mut frozen_abs = Vec::new();
+    // Attempt-weighted squared errors, mirroring the tracker's own Brier
+    // accounting: the weighted minimizer is the per-attempt rate both
+    // estimators claim to predict.
+    let mut frozen_sq = 0.0;
+    let mut frozen_w = 0.0;
+    for o in &outcomes {
+        if o.device != drifty_name {
+            continue;
+        }
+        drifty_serves += 1;
+        let usage = CalibrationTracker::report_usage(&o.report);
+        if let Some(y) = label(&usage, o.result.is_ok()) {
+            let w = usage.attempts.clamp(1, 64) as f64;
+            frozen_abs.push((y - BASE_RATE).abs());
+            frozen_sq += w * (y - BASE_RATE) * (y - BASE_RATE);
+            frozen_w += w;
+        }
+    }
+    let tracker_mae = router.with_tracker(|t| t.mae(0));
+    let tracker_brier = router.with_tracker(|t| t.brier(0));
+    let frozen_mae = (!frozen_abs.is_empty())
+        .then(|| frozen_abs.iter().sum::<f64>() / frozen_abs.len() as f64);
+    let frozen_brier = (frozen_w > 0.0).then(|| frozen_sq / frozen_w);
+    router.drain();
+    ScenarioRun {
+        successes,
+        attempts,
+        accuracy_per_attempt: successes as f64 / attempts.max(1) as f64,
+        drifty_serves,
+        tracker_mae,
+        frozen_mae,
+        tracker_brier,
+        frozen_brier,
+    }
+}
+
+/// Median accuracy over 3 runs — routing interleaves with breaker state,
+/// so individual runs wobble slightly even with fixed seeds.
+fn median_run(drift: DriftModel, per_job: f64, policy: ScorePolicy) -> ScenarioRun {
+    let mut runs: Vec<ScenarioRun> =
+        (0..3).map(|_| run_scenario(drift, per_job, policy)).collect();
+    runs.sort_by(|a, b| {
+        a.accuracy_per_attempt
+            .partial_cmp(&b.accuracy_per_attempt)
+            .expect("accuracy is finite")
+    });
+    runs.swap_remove(1)
+}
+
+/// Synthetic observation stream timing the pilot-path cost of one
+/// `observe` (feature extraction + prequential Adam step).
+fn update_latencies(n: usize) -> Vec<Duration> {
+    let mut tracker = CalibrationTracker::new(
+        CalibConfig::default(),
+        vec!["a".into(), "b".into()],
+    );
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let usage = BackendUsage {
+            attempts: 1 + t % 3,
+            retries: t % 3,
+            backoff_ms: 4 * (t % 3) as u64,
+            ..BackendUsage::default()
+        };
+        let start = Instant::now();
+        tracker.observe(t as u64, t % 2, &usage, t % 5 != 0);
+        out.push(start.elapsed());
+    }
+    out
+}
+
+fn scenario_json(name: &str, stat: &ScenarioRun, pred: &ScenarioRun) -> (String, Json) {
+    let run = |r: &ScenarioRun| {
+        Json::obj([
+            ("successes", Json::Num(r.successes as f64)),
+            ("attempts", Json::Num(r.attempts as f64)),
+            ("accuracy_per_attempt", Json::Num(r.accuracy_per_attempt)),
+            ("drifty_serves", Json::Num(r.drifty_serves as f64)),
+            ("tracker_mae", r.tracker_mae.map_or(Json::Null, Json::Num)),
+            ("frozen_preset_mae", r.frozen_mae.map_or(Json::Null, Json::Num)),
+            ("tracker_brier", r.tracker_brier.map_or(Json::Null, Json::Num)),
+            (
+                "frozen_preset_brier",
+                r.frozen_brier.map_or(Json::Null, Json::Num),
+            ),
+        ])
+    };
+    (
+        name.to_owned(),
+        Json::obj([
+            ("static", run(stat)),
+            ("predicted", run(pred)),
+            (
+                "predicted_advantage",
+                Json::Num(pred.accuracy_per_attempt - stat.accuracy_per_attempt),
+            ),
+        ]),
+    )
+}
+
+fn bench_calib_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calib_tracking");
+    group.bench_function("tracker_observe_x256", |b| {
+        b.iter(|| black_box(update_latencies(256)))
+    });
+    group.finish();
+
+    let scenarios = [
+        ("random_walk", DriftModel::RandomWalk, RW_DRIFT_PER_JOB),
+        (
+            "step_recalibration",
+            DriftModel::StepRecalibration { interval: 40 },
+            STEP_DRIFT_PER_JOB,
+        ),
+    ];
+    let mut sections = Vec::new();
+    let mut gates_ok = true;
+    let mut gate_report = Vec::new();
+    for (name, drift, per_job) in scenarios {
+        let stat = median_run(drift, per_job, ScorePolicy::Static);
+        let pred = median_run(drift, per_job, ScorePolicy::Predicted);
+        println!(
+            "calib_tracking[{name}]: static {:.4} acc/attempt ({} serves on drifty) vs \
+             predicted {:.4} ({} serves); tracker Brier {:?} vs frozen {:?} \
+             (MAE {:?} vs {:?})",
+            stat.accuracy_per_attempt,
+            stat.drifty_serves,
+            pred.accuracy_per_attempt,
+            pred.drifty_serves,
+            stat.tracker_brier,
+            stat.frozen_brier,
+            stat.tracker_mae,
+            stat.frozen_mae,
+        );
+        let accuracy_gate = pred.accuracy_per_attempt > stat.accuracy_per_attempt;
+        // Brier accounting uses the *static* run: its traffic keeps
+        // flowing into the drifting device across the whole trajectory,
+        // so the tracker is graded on the full ramp, not just the part
+        // Predicted saw before routing away.
+        let brier_gate = match (stat.tracker_brier, stat.frozen_brier) {
+            (Some(t), Some(f)) => t < f,
+            _ => false,
+        };
+        gates_ok &= accuracy_gate && brier_gate;
+        gate_report.push((name, accuracy_gate, brier_gate));
+        sections.push(scenario_json(name, &stat, &pred));
+    }
+
+    let mut lat = update_latencies(2048);
+    let (p50, p90, p99) = latency_percentiles_ms(&mut lat);
+    println!("calib_tracking: observe latency p50 {p50:.4} ms, p90 {p90:.4} ms, p99 {p99:.4} ms");
+
+    let doc = Json::obj([
+        ("bench", Json::Str("calib_tracking".into())),
+        ("jobs_per_scenario", Json::Num(JOBS as f64)),
+        ("base_rate", Json::Num(BASE_RATE)),
+        ("failure_drift_coupling", Json::Num(COUPLING)),
+        (
+            "drift_per_job",
+            Json::obj([
+                ("random_walk", Json::Num(RW_DRIFT_PER_JOB)),
+                ("step_recalibration", Json::Num(STEP_DRIFT_PER_JOB)),
+            ]),
+        ),
+        (
+            "scenarios",
+            Json::Obj(sections.into_iter().collect()),
+        ),
+        (
+            "update_latency_ms",
+            Json::obj([
+                ("p50", Json::Num(p50)),
+                ("p90", Json::Num(p90)),
+                ("p99", Json::Num(p99)),
+            ]),
+        ),
+        (
+            "gates",
+            Json::Arr(
+                gate_report
+                    .iter()
+                    .map(|(name, acc, brier)| {
+                        Json::obj([
+                            ("scenario", Json::Str((*name).into())),
+                            ("predicted_beats_static_accuracy", Json::Bool(*acc)),
+                            ("tracker_beats_frozen_brier", Json::Bool(*brier)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("BENCH_calib.json"), doc.to_json_pretty())
+        .expect("write results/BENCH_calib.json");
+
+    assert!(
+        gates_ok,
+        "calibration gates failed: {gate_report:?} — Predicted must beat Static on \
+         accuracy-per-attempt and the tracker must beat the frozen-preset Brier score \
+         in every scenario"
+    );
+}
+
+criterion_group!(benches, bench_calib_tracking);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! # qnat-calib — learned calibration tracking for a QuantumNAT fleet
+//!
+//! QuantumNAT's premise is that *knowing* a device's noise lets you act
+//! on it. The fleet layer acts on static presets plus breaker state,
+//! even though every delivered job's `ExecutionReport` carries live
+//! evidence of calibration drift. This crate closes that gap, following
+//! the noise-prediction line of work (Zlokapa & Gheorghiu's deep
+//! learning noise predictor; ML for quantum noise reduction):
+//!
+//! * [`CalibrationTracker`] — per-device online logistic regressors
+//!   (`qnat-autodiff` tape + `qnat-core` Adam) trained one step per
+//!   delivered job on features extracted from the report stream through
+//!   the stable per-backend accessors. Estimates the device's
+//!   instantaneous error rate in `[0, 1]`, tracks prediction residuals,
+//!   and applies updates strictly in fleet-ticket order so tracker state
+//!   is bitwise invariant to worker/pilot timing.
+//! * [`CalibTrace`] / [`replay_decision`] — the audit log of
+//!   prediction-driven routing: every decision's full candidate scoring
+//!   is recorded and the winner recomputes from the trace alone.
+//! * [`CalibrationTracker::compile_view`] — the loop closed into
+//!   compilation: tracker estimates become the calibration source for
+//!   level-3 noise-adaptive transpilation via
+//!   [`qnat_compiler::calibrated_view`], quantized so plan-cache
+//!   fingerprints only move under meaningful drift.
+//!
+//! The fleet router consumes this crate behind its `ScorePolicy` toggle;
+//! see `qnat-fleet` for the routing integration and
+//! `benches/calib_tracking.rs` for the accuracy-per-attempt gate.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod trace;
+pub mod tracker;
+
+pub use trace::{replay_decision, CalibDecision, CalibTrace, CandidateScore, NoiseSource};
+pub use tracker::{CalibConfig, CalibrationHealth, CalibrationTracker, DeviceCalibrationView};

@@ -44,83 +44,238 @@ pub fn swap_qubit_order(m: &Mat4) -> Mat4 {
     out
 }
 
+/// How an absorbed gate folds into a two-qubit accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Absorb {
+    /// Single-qubit gate on `qa`, lifted as `m ⊗ I`.
+    LiftA,
+    /// Single-qubit gate on `qb`, lifted as `I ⊗ m`.
+    LiftB,
+    /// Two-qubit gate already in `(qa, qb)` order.
+    Direct,
+    /// Two-qubit gate in `(qb, qa)` order, folded through
+    /// [`swap_qubit_order`].
+    Swapped,
+}
+
+/// One fused op's recipe: which template gate indices compose it and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OpPlan {
+    /// A flushed single-qubit run: `gates` in application order (later
+    /// entries multiply on the left).
+    One { q: usize, gates: Vec<usize> },
+    /// A two-qubit sandwich: both qubits' pending single runs, the base
+    /// two-qubit gate, and every absorbed follower with its fold mode.
+    Two {
+        qa: usize,
+        qb: usize,
+        pend_a: Vec<usize>,
+        pend_b: Vec<usize>,
+        base: usize,
+        absorbed: Vec<(usize, Absorb)>,
+    },
+}
+
+/// The structure of a fusion, computed once from a circuit *template*.
+///
+/// Which gates fuse into which dense op depends only on gate arities and
+/// qubit supports — never on angle values — so the plan for a symbolic
+/// template (e.g. [`SymbolicLowered::circuit`]) applies verbatim to every
+/// parameter binding of it. [`FusionPlan::fuse_bound`] then fuses a bound
+/// circuit with pure matrix arithmetic: no per-call structural scan, no
+/// per-call allocation beyond the output. [`fuse`] itself is implemented
+/// as `for_template` + `fuse_bound`, so the cached-plan path and the
+/// one-shot path cannot diverge.
+///
+/// [`SymbolicLowered::circuit`]: crate::symbolic::SymbolicLowered
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionPlan {
+    n_qubits: usize,
+    n_gates: usize,
+    ops: Vec<OpPlan>,
+}
+
+impl FusionPlan {
+    /// Computes the fusion structure of `template`: the same two-rule
+    /// scan [`fuse`] performs, recording gate indices instead of
+    /// multiplying matrices.
+    pub fn for_template(template: &Circuit) -> FusionPlan {
+        let n = template.n_qubits();
+        let gates = template.gates();
+        let mut ops = Vec::new();
+        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut i = 0;
+        while i < gates.len() {
+            let g = &gates[i];
+            if g.arity() == 1 {
+                pending[g.qubits[0]].push(i);
+                i += 1;
+                continue;
+            }
+            let (qa, qb) = (g.qubits[0], g.qubits[1]);
+            let pend_a = std::mem::take(&mut pending[qa]);
+            let pend_b = std::mem::take(&mut pending[qb]);
+            let base = i;
+            i += 1;
+            // Absorb every following gate fully inside {qa, qb}.
+            let mut absorbed = Vec::new();
+            while i < gates.len() {
+                let h = &gates[i];
+                let inside = if h.arity() == 1 {
+                    h.qubits[0] == qa || h.qubits[0] == qb
+                } else {
+                    (h.qubits[0] == qa || h.qubits[0] == qb)
+                        && (h.qubits[1] == qa || h.qubits[1] == qb)
+                };
+                if !inside {
+                    break;
+                }
+                let mode = if h.arity() == 1 {
+                    if h.qubits[0] == qa {
+                        Absorb::LiftA
+                    } else {
+                        Absorb::LiftB
+                    }
+                } else if h.qubits[0] == qa {
+                    Absorb::Direct
+                } else {
+                    Absorb::Swapped
+                };
+                absorbed.push((i, mode));
+                i += 1;
+            }
+            ops.push(OpPlan::Two {
+                qa,
+                qb,
+                pend_a,
+                pend_b,
+                base,
+                absorbed,
+            });
+        }
+        // Flush pending singles never consumed by a two-qubit gate.
+        // Deferral is exact: each rides only past gates on other qubits,
+        // which commute with it.
+        for (q, run) in pending.into_iter().enumerate() {
+            if !run.is_empty() {
+                ops.push(OpPlan::One { q, gates: run });
+            }
+        }
+        FusionPlan {
+            n_qubits: n,
+            n_gates: gates.len(),
+            ops,
+        }
+    }
+
+    /// Qubit count of the template this plan was built from.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Gate count of the template this plan was built from — a bound
+    /// circuit must match it exactly.
+    pub fn n_gates(&self) -> usize {
+        self.n_gates
+    }
+
+    /// Fused ops this plan produces.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Fuses `bound` — a circuit with the *same gate structure* as the
+    /// plan's template (same gate sequence and qubit supports; parameter
+    /// values free) — into dense per-run unitaries, bitwise identical to
+    /// [`fuse`] on the same circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound`'s qubit or gate count differs from the
+    /// template's, or if a gate's arity disagrees with the recorded
+    /// structure (the plan was built from a different template).
+    pub fn fuse_bound(&self, bound: &Circuit) -> FusedCircuit {
+        assert_eq!(bound.n_qubits(), self.n_qubits, "fusion plan qubit count");
+        let gates = bound.gates();
+        assert_eq!(gates.len(), self.n_gates, "fusion plan gate count");
+        let mat2_at = |i: usize| -> Mat2 {
+            match gates[i].matrix() {
+                GateMatrix::One(m) => m,
+                GateMatrix::Two(_) => panic!("fusion plan expected a single-qubit gate at {i}"),
+            }
+        };
+        let mat4_at = |i: usize| -> Mat4 {
+            match gates[i].matrix() {
+                GateMatrix::Two(m) => m,
+                GateMatrix::One(_) => panic!("fusion plan expected a two-qubit gate at {i}"),
+            }
+        };
+        // Later gate multiplies on the left; an empty run is the
+        // identity. Seeding from the first gate (not ID2) keeps the
+        // accumulation bitwise identical to direct left-folding.
+        let fold_run = |run: &[usize]| -> Mat2 {
+            let mut iter = run.iter();
+            let Some(&first) = iter.next() else { return ID2 };
+            let mut acc = mat2_at(first);
+            for &i in iter {
+                acc = mat2_mul(&mat2_at(i), &acc);
+            }
+            acc
+        };
+        let mut out = FusedCircuit::new(self.n_qubits);
+        for op in &self.ops {
+            match op {
+                OpPlan::One { q, gates: run } => {
+                    out.push(FusedOp::One {
+                        q: *q,
+                        m: fold_run(run),
+                    });
+                }
+                OpPlan::Two {
+                    qa,
+                    qb,
+                    pend_a,
+                    pend_b,
+                    base,
+                    absorbed,
+                } => {
+                    // Fold both qubits' pending singles into the 4×4
+                    // first (kron2 puts its first factor on the
+                    // 2·bit axis = qa).
+                    let pa = fold_run(pend_a);
+                    let pb = fold_run(pend_b);
+                    let mut acc = mat4_mul(&mat4_at(*base), &kron2(&pa, &pb));
+                    for &(i, mode) in absorbed {
+                        acc = match mode {
+                            Absorb::LiftA => mat4_mul(&kron2(&mat2_at(i), &ID2), &acc),
+                            Absorb::LiftB => mat4_mul(&kron2(&ID2, &mat2_at(i)), &acc),
+                            Absorb::Direct => mat4_mul(&mat4_at(i), &acc),
+                            Absorb::Swapped => mat4_mul(&swap_qubit_order(&mat4_at(i)), &acc),
+                        };
+                    }
+                    out.push(FusedOp::Two {
+                        qa: *qa,
+                        qb: *qb,
+                        m: acc,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Fuses `circuit` into dense per-run unitaries.
 ///
 /// The result is semantically identical to the input (within f64
 /// reassociation, ≤ ~1e-15 per op) and usually far shorter: a transpiled
 /// §4.2 QNN block's Euler triples and CX sandwiches collapse to roughly
-/// one op per entangling pair.
+/// one op per entangling pair. Implemented as
+/// [`FusionPlan::for_template`] + [`FusionPlan::fuse_bound`]; callers
+/// fusing many bindings of one template should build the plan once and
+/// call `fuse_bound` per binding.
 pub fn fuse(circuit: &Circuit) -> FusedCircuit {
-    let n = circuit.n_qubits();
-    let mut out = FusedCircuit::new(n);
-    let mut pending: Vec<Option<Mat2>> = vec![None; n];
-    let gates = circuit.gates();
-    let mut i = 0;
-    while i < gates.len() {
-        let g = &gates[i];
-        match g.matrix() {
-            GateMatrix::One(m) => {
-                // Later gate multiplies on the left.
-                let q = g.qubits[0];
-                pending[q] = Some(match pending[q] {
-                    Some(p) => mat2_mul(&m, &p),
-                    None => m,
-                });
-                i += 1;
-            }
-            GateMatrix::Two(m) => {
-                let (qa, qb) = (g.qubits[0], g.qubits[1]);
-                // Fold both qubits' pending singles into the 4×4 first
-                // (kron2 puts its first factor on the 2·bit axis = qa).
-                let pa = pending[qa].take().unwrap_or(ID2);
-                let pb = pending[qb].take().unwrap_or(ID2);
-                let mut acc = mat4_mul(&m, &kron2(&pa, &pb));
-                i += 1;
-                // Absorb every following gate fully inside {qa, qb}.
-                while i < gates.len() {
-                    let h = &gates[i];
-                    let inside = if h.arity() == 1 {
-                        h.qubits[0] == qa || h.qubits[0] == qb
-                    } else {
-                        (h.qubits[0] == qa || h.qubits[0] == qb)
-                            && (h.qubits[1] == qa || h.qubits[1] == qb)
-                    };
-                    if !inside {
-                        break;
-                    }
-                    match h.matrix() {
-                        GateMatrix::One(hm) => {
-                            let lifted = if h.qubits[0] == qa {
-                                kron2(&hm, &ID2)
-                            } else {
-                                kron2(&ID2, &hm)
-                            };
-                            acc = mat4_mul(&lifted, &acc);
-                        }
-                        GateMatrix::Two(hm) => {
-                            let aligned = if h.qubits[0] == qa {
-                                hm
-                            } else {
-                                swap_qubit_order(&hm)
-                            };
-                            acc = mat4_mul(&aligned, &acc);
-                        }
-                    }
-                    i += 1;
-                }
-                out.push(FusedOp::Two { qa, qb, m: acc });
-            }
-        }
-    }
-    // Flush pending singles never consumed by a two-qubit gate. Deferral
-    // is exact: each rides only past gates on other qubits, which commute
-    // with it.
-    for (q, p) in pending.iter().enumerate() {
-        if let Some(m) = p {
-            out.push(FusedOp::One { q, m: *m });
-        }
-    }
-    out
+    FusionPlan::for_template(circuit).fuse_bound(circuit)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod calibration;
 pub mod decompose;
 pub mod euler;
 pub mod fusion;
@@ -34,5 +35,6 @@ pub mod symbolic;
 pub mod transpile;
 pub mod unitary;
 
+pub use calibration::{calibrated_view, quantize_estimate};
 pub use fusion::fuse;
 pub use transpile::{transpile, Transpiled, TranspileOptions};

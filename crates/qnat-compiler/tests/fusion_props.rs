@@ -10,7 +10,7 @@
 //!   op on bit `q`) and so exercises `run_fused`'s `conj2`/`conj4` reuse.
 
 use proptest::prelude::*;
-use qnat_compiler::fusion::fuse;
+use qnat_compiler::fusion::{fuse, FusionPlan};
 use qnat_sim::circuit::Circuit;
 use qnat_sim::density::DensityMatrix;
 use qnat_sim::fused::simulate_fused;
@@ -91,5 +91,22 @@ proptest! {
         // Same input → identical FusedCircuit, bit for bit. The plan
         // cache depends on this: a cache hit may not change results.
         prop_assert_eq!(fuse(&circuit), fuse(&circuit));
+    }
+
+    #[test]
+    fn template_plan_fuses_any_rebinding_bitwise(
+        circuit in arb_circuit(20),
+        shift in -2.0f64..2.0,
+    ) {
+        // A plan built from one parameter binding fuses *any other*
+        // binding of the same structure bitwise identically to a fresh
+        // fuse of that binding — the cached-plan serving contract.
+        let plan = FusionPlan::for_template(&circuit);
+        let mut rebound = circuit.clone();
+        let params: Vec<f64> =
+            rebound.parameters().iter().map(|p| p + shift).collect();
+        rebound.set_parameters(&params);
+        prop_assert_eq!(plan.fuse_bound(&rebound), fuse(&rebound));
+        prop_assert!(plan.n_ops() <= plan.n_gates().max(1));
     }
 }

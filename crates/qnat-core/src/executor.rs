@@ -25,6 +25,7 @@
 
 use qnat_noise::backend::{BackendError, Measurements, QuantumBackend};
 use qnat_sim::circuit::Circuit;
+use std::collections::BTreeMap;
 use std::fmt;
 
 pub use crate::time::{Sleeper, ThreadSleeper, VirtualSleeper};
@@ -118,6 +119,42 @@ impl fmt::Display for FailureRecord {
     }
 }
 
+/// Per-backend slice of an [`ExecutionReport`]: what one named backend
+/// did, keyed by [`QuantumBackend::name`]. This is the stable feature
+/// stream the calibration tracker (`qnat-calib`) consumes — counters
+/// here are attributed to the backend that incurred them, unlike the
+/// report's flat totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendUsage {
+    /// Circuits executed on this backend (primary attempts or fallback
+    /// serves).
+    pub attempts: usize,
+    /// Retries after this backend failed retryably.
+    pub retries: usize,
+    /// Circuits this backend rejected at validation (deterministic, never
+    /// retried).
+    pub validation_failures: usize,
+    /// Jobs fast-failed while this backend was the terminally-degraded
+    /// primary.
+    pub fast_failed_jobs: usize,
+    /// Jobs this backend served as the fallback.
+    pub fallback_jobs: usize,
+    /// Backoff milliseconds accrued waiting to retry this backend.
+    pub backoff_ms: u64,
+}
+
+impl BackendUsage {
+    /// Folds another usage record into this one.
+    pub fn merge(&mut self, other: &BackendUsage) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.validation_failures += other.validation_failures;
+        self.fast_failed_jobs += other.fast_failed_jobs;
+        self.fallback_jobs += other.fallback_jobs;
+        self.backoff_ms += other.backoff_ms;
+    }
+}
+
 /// Structured account of everything a [`ResilientExecutor`] did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionReport {
@@ -149,6 +186,9 @@ pub struct ExecutionReport {
     pub shot_shortfall: usize,
     /// Every failure observed, in order.
     pub failures: Vec<FailureRecord>,
+    /// Per-backend attribution of the counters above, keyed by backend
+    /// name — see [`ExecutionReport::backend_usage`].
+    pub by_backend: BTreeMap<String, BackendUsage>,
 }
 
 impl ExecutionReport {
@@ -166,6 +206,49 @@ impl ExecutionReport {
         self.total_backoff_ms += other.total_backoff_ms;
         self.shot_shortfall += other.shot_shortfall;
         self.failures.extend(other.failures.iter().cloned());
+        for (name, usage) in &other.by_backend {
+            self.usage_mut(name).merge(usage);
+        }
+    }
+
+    /// Backend keys with recorded usage, in deterministic (sorted) order.
+    pub fn backend_keys(&self) -> impl Iterator<Item = &str> {
+        self.by_backend.keys().map(String::as_str)
+    }
+
+    /// This backend's usage slice (zeroes if it never ran anything).
+    pub fn backend_usage(&self, backend: &str) -> BackendUsage {
+        self.by_backend.get(backend).copied().unwrap_or_default()
+    }
+
+    /// Retries attributed to `backend`.
+    pub fn retries_for(&self, backend: &str) -> usize {
+        self.backend_usage(backend).retries
+    }
+
+    /// Validation rejections attributed to `backend`.
+    pub fn validation_failures_for(&self, backend: &str) -> usize {
+        self.backend_usage(backend).validation_failures
+    }
+
+    /// Fast-failed jobs attributed to `backend`.
+    pub fn fast_fails_for(&self, backend: &str) -> usize {
+        self.backend_usage(backend).fast_failed_jobs
+    }
+
+    /// Backoff milliseconds attributed to `backend`.
+    pub fn backoff_ms_for(&self, backend: &str) -> u64 {
+        self.backend_usage(backend).backoff_ms
+    }
+
+    fn usage_mut(&mut self, backend: &str) -> &mut BackendUsage {
+        if !self.by_backend.contains_key(backend) {
+            self.by_backend
+                .insert(backend.to_string(), BackendUsage::default());
+        }
+        self.by_backend
+            .get_mut(backend)
+            .expect("usage entry just ensured")
     }
 }
 
@@ -323,8 +406,14 @@ impl ResilientExecutor {
         shots: Option<usize>,
     ) -> Option<Result<Measurements, BackendError>> {
         let fb = self.fallback.as_mut()?;
+        let fb_name = fb.name().to_string();
         self.report.fallback_jobs += 1;
         let res = fb.execute(circuit, shots);
+        {
+            let usage = self.report.usage_mut(&fb_name);
+            usage.fallback_jobs += 1;
+            usage.attempts += 1;
+        }
         // A fallback that keeps failing after the primary is gone leaves
         // nothing to serve from: remember the error and stop paying the
         // per-job retry/backoff tax.
@@ -364,11 +453,16 @@ impl ResilientExecutor {
         let job = self.job_index;
         self.job_index += 1;
         self.report.jobs += 1;
+        let primary_name = self.primary.name().to_string();
         // Validation failures are deterministic — retries and fallbacks
         // (same register/coupling) would fail identically.
-        self.primary.validate(circuit)?;
+        if let Err(e) = self.primary.validate(circuit) {
+            self.report.usage_mut(&primary_name).validation_failures += 1;
+            return Err(e);
+        }
         if let Some(err) = &self.terminal_error {
             self.report.fast_failed_jobs += 1;
+            self.report.usage_mut(&primary_name).fast_failed_jobs += 1;
             return Err(err.clone());
         }
         if self.short_circuited {
@@ -389,6 +483,7 @@ impl ResilientExecutor {
         let mut last_err = None;
         for attempt in 0..max_attempts {
             self.report.attempts += 1;
+            self.report.usage_mut(&primary_name).attempts += 1;
             match self.primary.execute(circuit, shots) {
                 Ok(m) => {
                     self.consecutive_failures = 0;
@@ -435,6 +530,11 @@ impl ResilientExecutor {
                         }
                         self.report.retries += 1;
                         self.report.total_backoff_ms += backoff;
+                        {
+                            let usage = self.report.usage_mut(&primary_name);
+                            usage.retries += 1;
+                            usage.backoff_ms += backoff;
+                        }
                     }
                     last_err = Some(e);
                 }
@@ -846,6 +946,108 @@ mod tests {
         assert_eq!((a.jobs, a.attempts, a.retries, a.fallback_jobs), (3, 5, 2, 1));
         assert!(a.degraded);
         assert_eq!(a.total_backoff_ms, 750);
+    }
+
+    #[test]
+    fn per_backend_usage_attributes_retries_and_backoff_to_the_primary() {
+        let faulty = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(0.4, 7));
+        let name = "statevector-simulator";
+        let mut ex = ResilientExecutor::new(Box::new(faulty), RetryPolicy::default());
+        for _ in 0..30 {
+            let _ = ex.execute(&bell(), None);
+        }
+        let r = ex.report().clone();
+        let usage = r.backend_usage(name);
+        assert_eq!(usage.attempts, r.attempts, "all attempts ran on the primary");
+        assert_eq!(usage.retries, r.retries);
+        assert_eq!(usage.backoff_ms, r.total_backoff_ms);
+        assert_eq!(r.retries_for(name), r.retries);
+        assert_eq!(r.backoff_ms_for(name), r.total_backoff_ms);
+        assert!(r.retries > 0, "40% faults must retry");
+        assert_eq!(r.backend_keys().collect::<Vec<_>>(), vec![name]);
+        // Unknown keys read as zeroes, not panics.
+        assert_eq!(r.backend_usage("nonexistent"), BackendUsage::default());
+    }
+
+    #[test]
+    fn per_backend_usage_splits_primary_and_fallback() {
+        use qnat_noise::backend::{EmulatorBackend, NoiseModelBackend};
+        let view = presets::santiago().subdevice(&[0, 1]).unwrap();
+        let broken = FaultyBackend::new(
+            EmulatorBackend::new(&view, 0).unwrap(),
+            FaultSpec::transient(1.0, 0),
+        );
+        let fallback = NoiseModelBackend::new(&view, 1).unwrap();
+        let primary_key = broken.name().to_string();
+        let fallback_key = fallback.name().to_string();
+        let mut ex = ResilientExecutor::with_fallback(
+            Box::new(broken),
+            Box::new(fallback),
+            RetryPolicy {
+                max_attempts: 2,
+                max_consecutive_failures: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        for _ in 0..5 {
+            ex.execute(&bell(), None).unwrap();
+        }
+        let r = ex.report();
+        let primary = r.backend_usage(&primary_key);
+        let fb = r.backend_usage(&fallback_key);
+        assert_eq!(primary.attempts, r.attempts, "primary attempts attributed");
+        assert_eq!(primary.fallback_jobs, 0);
+        assert_eq!(fb.fallback_jobs, 5, "every job was served by the fallback");
+        assert_eq!(fb.attempts, 5);
+        assert_eq!(fb.retries, 0, "fallback serves are single-shot");
+    }
+
+    #[test]
+    fn per_backend_usage_counts_validation_failures() {
+        let mut ex =
+            ResilientExecutor::new(Box::new(SimulatorBackend::new(0)), RetryPolicy::default());
+        let mut c = Circuit::new(1);
+        c.push(Gate::ry(0, f64::NAN));
+        assert!(ex.execute(&c, None).is_err());
+        assert!(ex.execute(&bell(), None).is_ok());
+        let r = ex.report();
+        assert_eq!(r.validation_failures_for("statevector-simulator"), 1);
+        assert_eq!(r.backend_usage("statevector-simulator").attempts, 1);
+    }
+
+    #[test]
+    fn per_backend_usage_counts_fast_fails() {
+        let broken = FaultyBackend::new(SimulatorBackend::new(0), FaultSpec::transient(1.0, 0));
+        let mut ex = ResilientExecutor::new(
+            Box::new(broken),
+            RetryPolicy {
+                max_attempts: 1,
+                max_consecutive_failures: 1,
+                ..RetryPolicy::default()
+            },
+        );
+        assert!(ex.execute(&bell(), None).is_err());
+        for _ in 0..3 {
+            assert!(ex.execute(&bell(), None).is_err());
+        }
+        assert_eq!(ex.report().fast_fails_for("statevector-simulator"), 3);
+    }
+
+    #[test]
+    fn per_backend_usage_merges_by_key() {
+        let mut a = ExecutionReport::default();
+        a.usage_mut("emu").attempts = 3;
+        a.usage_mut("emu").retries = 1;
+        let mut b = ExecutionReport::default();
+        b.usage_mut("emu").attempts = 2;
+        b.usage_mut("emu").backoff_ms = 40;
+        b.usage_mut("sim").fallback_jobs = 1;
+        a.merge(&b);
+        assert_eq!(a.backend_usage("emu").attempts, 5);
+        assert_eq!(a.backend_usage("emu").retries, 1);
+        assert_eq!(a.backend_usage("emu").backoff_ms, 40);
+        assert_eq!(a.backend_usage("sim").fallback_jobs, 1);
+        assert_eq!(a.backend_keys().collect::<Vec<_>>(), vec!["emu", "sim"]);
     }
 
     #[test]

@@ -302,6 +302,13 @@ pub struct BlockPlan {
     pub obs: Vec<usize>,
     /// The routed device window backends are built over.
     pub view: DeviceModel,
+    /// Fusion structure of `lowered`'s template, computed once per plan
+    /// (and shared across deployments on a
+    /// [`PlanCache`](crate::compile_cache::PlanCache) hit): consumers
+    /// evaluating bound circuits noise-free fuse through
+    /// [`FusionPlan::fuse_bound`](qnat_compiler::fusion::FusionPlan)
+    /// instead of re-deriving the structure per deployment.
+    pub fusion: std::sync::Arc<qnat_compiler::fusion::FusionPlan>,
 }
 
 /// A QNN deployed for pooled batch submission: each block's circuits fan
@@ -458,10 +465,15 @@ impl Qnn {
         let mut plans = Vec::with_capacity(self.blocks().len());
         for block in self.blocks() {
             let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+            let lowered = lower_symbolic(&windowed);
+            let fusion = std::sync::Arc::new(
+                qnat_compiler::fusion::FusionPlan::for_template(&lowered.circuit),
+            );
             plans.push(BlockPlan {
-                lowered: lower_symbolic(&windowed),
+                lowered,
                 obs,
                 view,
+                fusion,
             });
         }
         Ok(plans)
@@ -498,10 +510,15 @@ impl Qnn {
             };
             let plan = cache.get_or_insert_with(key, || -> Result<BlockPlan, InvalidDeviceError> {
                 let (windowed, obs, view) = route_block(self, block, device, opt_level)?;
+                let lowered = lower_symbolic(&windowed);
+                let fusion = std::sync::Arc::new(
+                    qnat_compiler::fusion::FusionPlan::for_template(&lowered.circuit),
+                );
                 Ok(BlockPlan {
-                    lowered: lower_symbolic(&windowed),
+                    lowered,
                     obs,
                     view,
+                    fusion,
                 })
             })?;
             plans.push((*plan).clone());

@@ -85,6 +85,10 @@ pub struct Block {
     pub n_enc: usize,
     /// Number of trainable parameters in this block.
     pub n_train: usize,
+    /// Fusion structure of the lowered template, computed once at
+    /// construction: every noise-free evaluation fuses its bound circuit
+    /// through this plan instead of re-deriving the structure per call.
+    pub fusion: std::sync::Arc<qnat_compiler::fusion::FusionPlan>,
 }
 
 /// A trainable multi-block QNN.
@@ -208,6 +212,9 @@ impl Qnn {
             };
             offsets.push(total_params);
             total_params += n_train;
+            let fusion = std::sync::Arc::new(
+                qnat_compiler::fusion::FusionPlan::for_template(&lowered.circuit),
+            );
             blocks.push(Block {
                 encoder,
                 logical,
@@ -216,6 +223,7 @@ impl Qnn {
                 device_view,
                 n_enc,
                 n_train,
+                fusion,
             });
         }
         // Small random initialization (uniform in ±0.3 rad).
@@ -313,7 +321,13 @@ impl Qnn {
             // applied by the branch-free kernels. Exact within f64
             // reassociation (the fusion proptests pin 1e-12); the adjoint
             // path below stays gate-by-gate, which gradients require.
-            let fused = qnat_compiler::fusion::fuse(&run);
+            // Gate insertion changes the circuit's structure per sample,
+            // so only it pays for a fresh structural scan; every other
+            // source binds the template and reuses the block's plan.
+            let fused = match noise {
+                NoiseSource::GateInsertion { .. } => qnat_compiler::fusion::fuse(&run),
+                _ => block.fusion.fuse_bound(&run),
+            };
             let psi = qnat_sim::fused::simulate_fused(&fused);
             let all = psi.expect_all_z();
             let mut outputs: Vec<f64> =

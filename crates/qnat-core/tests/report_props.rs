@@ -6,8 +6,9 @@
 //! stay attributable no matter how the pool carved up the work).
 
 use proptest::prelude::*;
-use qnat_core::executor::{ExecutionReport, FailureRecord};
+use qnat_core::executor::{BackendUsage, ExecutionReport, FailureRecord};
 use qnat_noise::backend::BackendError;
+use std::collections::BTreeMap;
 
 /// Deterministically expands compact generated stats into one per-job
 /// report whose failure records carry the batch-global index `job`.
@@ -34,6 +35,17 @@ fn job_report(job: usize, attempts: usize, retries: usize, flags: u8, backoff: u
         total_backoff_ms: backoff,
         shot_shortfall: (attempts * 7) % 23,
         failures,
+        by_backend: BTreeMap::from([(
+            format!("backend-{}", flags % 3),
+            BackendUsage {
+                attempts,
+                retries,
+                validation_failures: usize::from(flags & 2 != 0),
+                fast_failed_jobs: usize::from(flags & 4 != 0),
+                fallback_jobs: usize::from(flags & 1 != 0),
+                backoff_ms: backoff,
+            },
+        )]),
     }
 }
 

@@ -25,6 +25,14 @@
 //!   [`qnat_core::compile_cache::PlanCache`]: devices sharing a
 //!   calibration fingerprint share compiled block plans, and redeploying
 //!   against unchanged calibration compiles nothing.
+//! * [`ScorePolicy`] — the routing score's noise source: `Static`
+//!   (declared calibration, drifted along the declared cursor) or
+//!   `Predicted` (the `qnat-calib` [`qnat_calib::CalibrationTracker`]'s
+//!   learned estimate from the live report stream, with static fallback
+//!   while cold). The tracker observes deliveries in fleet-ticket order
+//!   under both policies; predicted decisions are recorded in a
+//!   replayable [`qnat_calib::CalibTrace`]
+//!   ([`FleetRouter::calib_trace`]).
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
@@ -34,9 +42,13 @@ pub mod plan;
 pub mod router;
 
 pub use device::{DeviceFactory, FleetDevice};
+pub use qnat_calib::{
+    replay_decision, CalibConfig, CalibDecision, CalibTrace, CalibrationHealth, CandidateScore,
+    DeviceCalibrationView, NoiseSource,
+};
 pub use plan::{plan_fleet, DevicePlan};
 pub use router::{
     replay_job, AttemptKind, AttemptTrace, DeviceHealthView, Disposition, FleetConfig, FleetError,
     FleetHealth, FleetOutcome, FleetPoll, FleetRouter, FleetStats, FleetTicket, HedgePolicy,
-    JobTrace, QuarantinePolicy, RoutingTrace, ScoreWeights,
+    JobTrace, QuarantinePolicy, RoutingTrace, ScorePolicy, ScoreWeights,
 };

@@ -63,6 +63,10 @@
 //! one non-replayable disposition.
 
 use crate::device::FleetDevice;
+use qnat_calib::{
+    CalibConfig, CalibDecision, CalibTrace, CalibrationHealth, CalibrationTracker, CandidateScore,
+    NoiseSource,
+};
 use qnat_core::batch::{run_job, BatchJob, JobDeadline};
 use qnat_core::executor::{splitmix64, ExecutionReport};
 use qnat_core::health::{BreakerPolicy, BreakerSnapshot, BreakerState, HealthRegistry};
@@ -110,6 +114,25 @@ impl Default for ScoreWeights {
             open_penalty: 1e3,
         }
     }
+}
+
+/// Where the routing score's noise term comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScorePolicy {
+    /// The declared calibration: the device's static model, drifted along
+    /// its declared [`DriftCursor`] (the original fleet behavior).
+    #[default]
+    Static,
+    /// The learned calibration: the [`CalibrationTracker`]'s routing
+    /// estimate (prediction plus uncertainty margin), learned online from
+    /// the execution-report stream and blended with the static term in
+    /// proportion to the device's observation-window fill — an
+    /// under-observed device is scored mostly by its declared calibration
+    /// so early pessimism can't starve it of traffic. Fully cold devices
+    /// fall back to the static term per candidate, and every scored
+    /// decision is recorded in the router's [`CalibTrace`] for bitwise
+    /// replay.
+    Predicted,
 }
 
 /// When to launch a hedged duplicate of a slow job.
@@ -185,6 +208,13 @@ pub struct FleetConfig {
     pub hedge: Option<HedgePolicy>,
     /// Quarantine policy.
     pub quarantine: QuarantinePolicy,
+    /// Noise-term source for the routing score. The tracker observes the
+    /// report stream under both policies (so `/healthz` and accuracy
+    /// accounting work everywhere); the policy only controls whether
+    /// routing *acts* on its estimates.
+    pub score_policy: ScorePolicy,
+    /// Calibration-tracker hyper-parameters.
+    pub calibration: CalibConfig,
 }
 
 impl Default for FleetConfig {
@@ -200,6 +230,8 @@ impl Default for FleetConfig {
             weights: ScoreWeights::default(),
             hedge: Some(HedgePolicy::default()),
             quarantine: QuarantinePolicy::default(),
+            score_policy: ScorePolicy::default(),
+            calibration: CalibConfig::default(),
         }
     }
 }
@@ -400,6 +432,11 @@ struct RouterState {
     latencies: VecDeque<u64>,
     /// One drift cursor per device with a declared fault spec.
     cursors: Vec<Option<DriftCursor>>,
+    /// The learned calibration tracker, fed every delivered job's report
+    /// in ticket order (regardless of [`ScorePolicy`]).
+    tracker: CalibrationTracker,
+    /// Every prediction-driven scoring decision, in routing order.
+    calib_decisions: Vec<CalibDecision>,
     devices: Vec<DeviceState>,
     stats: FleetStats,
     /// Monotone routing-round counter driving the probe cadence.
@@ -511,14 +548,38 @@ impl Shared {
         let probe = chosen.is_some();
         let chosen = chosen.or_else(|| {
             // Score the healthy candidates (lower wins, ties to the
-            // lower index).
+            // lower index). Under `ScorePolicy::Predicted` the noise
+            // term is the tracker's routing estimate (static fallback
+            // per cold candidate) and the full scoring row set is
+            // recorded as a replayable [`CalibDecision`].
+            let predicted = self.config.score_policy == ScorePolicy::Predicted;
+            let mut rows: Vec<CandidateScore> = Vec::new();
             let mut best: Option<(usize, f64)> = None;
             for i in 0..self.slots.len() {
                 if tried.contains(&i) || st.devices[i].quarantined {
                     continue;
                 }
                 let depth = self.slots[i].engine.load().total() as f64;
-                let noise = self.noise_estimate(i, st.cursors[i].as_mut(), job);
+                let (noise, source) = match st.tracker.routing_estimate(i) {
+                    Some(e) if predicted => {
+                        // Evidence-proportional blend: a device that has
+                        // barely been observed carries a wide uncertainty
+                        // margin, and trusting that pessimistic learned
+                        // estimate outright starves it of the very traffic
+                        // that would tighten the margin. Weight the learned
+                        // estimate by how full the observation window is
+                        // and fall back to the declared calibration for
+                        // the remainder, so routing converges to the
+                        // tracker only as real evidence accumulates.
+                        let fill = st.tracker.window_fill(i).clamp(0.0, 1.0);
+                        let stat = self.noise_estimate(i, st.cursors[i].as_mut(), job);
+                        (fill * e + (1.0 - fill) * stat, NoiseSource::Predicted)
+                    }
+                    _ => (
+                        self.noise_estimate(i, st.cursors[i].as_mut(), job),
+                        NoiseSource::Static,
+                    ),
+                };
                 let penalty = match snaps[i].map(|s| s.state) {
                     Some(BreakerState::Open { .. }) => self.config.weights.open_penalty,
                     Some(BreakerState::HalfOpen) => self.config.weights.half_open_penalty,
@@ -527,8 +588,30 @@ impl Shared {
                 let score = self.config.weights.depth * depth
                     + self.config.weights.noise * noise
                     + penalty;
+                if predicted {
+                    rows.push(CandidateScore {
+                        device: self.slots[i].device.name().to_owned(),
+                        index: i,
+                        noise,
+                        source,
+                        depth,
+                        penalty,
+                        score,
+                    });
+                }
                 if best.is_none_or(|(_, b)| score < b) {
                     best = Some((i, score));
+                }
+            }
+            if predicted {
+                if let Some((i, _)) = best {
+                    st.calib_decisions.push(CalibDecision {
+                        job,
+                        depth_weight: self.config.weights.depth,
+                        noise_weight: self.config.weights.noise,
+                        candidates: rows,
+                        chosen: i,
+                    });
                 }
             }
             best.map(|(i, _)| i)
@@ -641,6 +724,19 @@ impl FleetRouter {
             .iter()
             .map(|s| s.device.faults().copied().map(DriftCursor::new))
             .collect();
+        // Warm-start the tracker from each device's declared calibration:
+        // its first predictions match the static noise term instead of an
+        // uninformed 0.5, so prequential accuracy never regresses below
+        // the frozen-preset baseline while the window fills.
+        let priors: Vec<f64> = slots
+            .iter()
+            .map(|s| mean_error_sum(s.device.model()))
+            .collect();
+        let tracker = CalibrationTracker::with_priors(
+            config.calibration,
+            slots.iter().map(|s| s.device.name().to_owned()).collect(),
+            &priors,
+        );
         let shared = Arc::new(Shared {
             state: Mutex::new(RouterState {
                 next: 0,
@@ -650,6 +746,8 @@ impl FleetRouter {
                 traces: Vec::new(),
                 latencies: VecDeque::new(),
                 cursors,
+                tracker,
+                calib_decisions: Vec::new(),
                 devices: (0..n)
                     .map(|_| DeviceState {
                         quarantined: false,
@@ -823,6 +921,33 @@ impl FleetRouter {
         let mut jobs = st.traces.clone();
         jobs.sort_by_key(|t| t.job);
         RoutingTrace { jobs }
+    }
+
+    /// A point-in-time snapshot of the calibration tracker: per-device
+    /// estimate, routing estimate, residual EMA, window fill and
+    /// observation count — the `/healthz` calibration section.
+    pub fn calibration_health(&self) -> CalibrationHealth {
+        self.shared.lock_state().tracker.health()
+    }
+
+    /// Every prediction-driven scoring decision so far, sorted by fleet
+    /// ticket (failover rounds of one job stay in round order). Each
+    /// decision's winner recomputes from the trace alone via
+    /// [`qnat_calib::replay_decision`]. Empty under
+    /// [`ScorePolicy::Static`].
+    pub fn calib_trace(&self) -> CalibTrace {
+        let st = self.shared.lock_state();
+        let mut decisions = st.calib_decisions.clone();
+        decisions.sort_by_key(|d| d.job);
+        CalibTrace { decisions }
+    }
+
+    /// Runs `f` against the live calibration tracker under the router
+    /// lock — for accuracy accounting (prequential MAE, raw estimates)
+    /// that the health snapshot does not carry. Keep `f` short: it
+    /// blocks routing.
+    pub fn with_tracker<R>(&self, f: impl FnOnce(&CalibrationTracker) -> R) -> R {
+        f(&self.shared.lock_state().tracker)
     }
 
     /// Graceful shutdown: refuses new submissions, lets the pilots
@@ -1084,6 +1209,19 @@ fn pilot_loop(shared: &Arc<Shared>) {
         {
             let mut st = shared.lock_state();
             st.running.remove(&ticket);
+            // Feed the calibration tracker: the winning device's report
+            // usage, keyed by the fleet ticket so updates apply in ticket
+            // order no matter which pilot delivers first. Undeliverable
+            // jobs (no device attempted) still advance the ticket with an
+            // evidence-free record so the reorder buffer never stalls.
+            let win_device_index = shared
+                .slots
+                .iter()
+                .position(|s| s.device.name() == outcome.device)
+                .unwrap_or(0);
+            let usage = CalibrationTracker::report_usage(&outcome.report);
+            st.tracker
+                .observe(ticket, win_device_index, &usage, outcome.result.is_ok());
             let latency_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
             st.latencies.push_back(latency_ms);
             while st.latencies.len() > LATENCY_WINDOW {
@@ -1224,6 +1362,103 @@ mod tests {
             hedge: None,
             ..FleetConfig::default()
         }
+    }
+
+    /// A device whose jobs flake with probability `rate` per attempt but
+    /// usually succeed within the retry budget — and whose drift is NOT
+    /// declared to the router, so static scoring cannot see it.
+    fn flaky_device(model: DeviceModel, rate: f64) -> FleetDevice {
+        FleetDevice::new(model, move |global, seed| {
+            Ok(ResilientExecutor::new(
+                Box::new(FaultyBackend::starting_at(
+                    SimulatorBackend::new(seed),
+                    FaultSpec::transient(rate, seed),
+                    global,
+                )),
+                RetryPolicy {
+                    max_attempts: 4,
+                    ..RetryPolicy::default()
+                },
+            ))
+        })
+    }
+
+    #[test]
+    fn predicted_policy_learns_to_avoid_an_undeclared_flaky_device() {
+        // santiago scores best statically and declares no drift, but
+        // 55% of its attempts flake. Static scoring routes to it
+        // forever; the tracker reads the retry pressure out of the
+        // report stream and reroutes.
+        let mut cfg = config();
+        cfg.score_policy = ScorePolicy::Predicted;
+        cfg.calibration = CalibConfig {
+            min_observations: 6,
+            ..CalibConfig::default()
+        };
+        let router = FleetRouter::new(
+            cfg,
+            vec![
+                flaky_device(presets::santiago(), 0.55),
+                sim_device(presets::quito()),
+            ],
+        )
+        .unwrap();
+        for k in 0..40 {
+            let t = router.submit(job(k)).unwrap();
+            router.wait(t).unwrap();
+        }
+        let late = router.wait(router.submit(job(40)).unwrap()).unwrap();
+        assert_eq!(late.device, presets::quito().name(), "learned reroute");
+        let health = router.calibration_health();
+        assert_eq!(health.devices.len(), 2);
+        assert_eq!(health.devices[0].name, presets::santiago().name());
+        // The tracker warm-starts at each device's declared calibration
+        // and reroutes as soon as the blended score flips, so the flaky
+        // device's absolute estimate stays modest — what matters is that
+        // it climbed above its declared prior while the clean device's
+        // fell below its own, flipping the learned ranking.
+        let flaky_estimate = health.devices[0].estimate.expect("warm after 40 jobs");
+        let steady_estimate = health.devices[1].estimate.expect("warm after 40 jobs");
+        let flaky_prior = mean_error_sum(&presets::santiago());
+        assert!(
+            flaky_estimate > flaky_prior,
+            "tracker saw the flake rate: estimate {flaky_estimate} vs declared {flaky_prior}"
+        );
+        assert!(
+            flaky_estimate > steady_estimate,
+            "tracker ranks the flaky device riskier: {flaky_estimate} vs {steady_estimate}"
+        );
+        assert_eq!(health.applied, 41, "every delivery advanced the ticket");
+        // Every prediction-driven decision replays to its recorded
+        // winner from the trace alone.
+        let trace = router.calib_trace();
+        assert!(!trace.decisions.is_empty());
+        for d in &trace.decisions {
+            assert_eq!(qnat_calib::replay_decision(d), Some(d.chosen), "job {}", d.job);
+        }
+        // At least one late decision was actually driven by a predicted
+        // noise term.
+        assert!(trace.decisions.iter().any(|d| d
+            .candidates
+            .iter()
+            .any(|c| c.source == NoiseSource::Predicted)));
+    }
+
+    #[test]
+    fn static_policy_records_no_calib_decisions_but_still_tracks() {
+        let router = FleetRouter::new(
+            config(),
+            vec![sim_device(presets::quito()), sim_device(presets::santiago())],
+        )
+        .unwrap();
+        for k in 0..12 {
+            let t = router.submit(job(k)).unwrap();
+            router.wait(t).unwrap();
+        }
+        assert!(router.calib_trace().decisions.is_empty());
+        let health = router.calibration_health();
+        assert_eq!(health.applied, 12, "tracker observes under Static too");
+        assert!(health.devices.iter().any(|d| d.observations > 0));
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub struct FaultSpec {
     pub readout_drift_per_job: f64,
     /// Gate drift rate (same interpretation and clamping).
     pub gate_drift_per_job: f64,
+    /// Couples the *transient-failure* rate to the drift trajectory: at
+    /// drift scale `s = max(gate, readout)`, the effective transient rate
+    /// becomes `rate · (1 + coupling·(s − 1))`, clamped to `[0, 1]`. This
+    /// models hardware whose readiness checks flake more as calibration
+    /// decays — the observable signal a calibration tracker learns drift
+    /// from. `0.0` (the default) keeps the legacy fixed rate, bitwise:
+    /// the fault roll consumes the same RNG draw either way.
+    pub failure_drift_coupling: f64,
     /// Trajectory the drift scales follow over the job index.
     pub drift: DriftModel,
     /// Seed of the per-job fault schedule.
@@ -92,6 +100,7 @@ impl FaultSpec {
             shot_truncation_factor: 0.25,
             readout_drift_per_job: 0.0,
             gate_drift_per_job: 0.0,
+            failure_drift_coupling: 0.0,
             drift: DriftModel::Linear,
             seed: 0,
             drift_seed: 0,
@@ -111,6 +120,21 @@ impl FaultSpec {
     /// `true` when any drift slope is non-zero.
     pub fn has_drift(&self) -> bool {
         self.readout_drift_per_job != 0.0 || self.gate_drift_per_job != 0.0
+    }
+
+    /// The effective transient-failure rate at drift scales
+    /// `(gate, readout)` — the [`failure_drift_coupling`] law a
+    /// [`FaultyBackend`] applies, exposed pure so calibration baselines
+    /// and benches can compute the ground truth a tracker is chasing.
+    ///
+    /// [`failure_drift_coupling`]: FaultSpec::failure_drift_coupling
+    pub fn effective_transient_rate(&self, gate_scale: f64, readout_scale: f64) -> f64 {
+        let mut rate = self.transient_failure_rate;
+        if self.has_drift() && self.failure_drift_coupling != 0.0 {
+            let s = gate_scale.max(readout_scale);
+            rate *= 1.0 + self.failure_drift_coupling * (s - 1.0);
+        }
+        rate.clamp(0.0, 1.0)
     }
 }
 
@@ -307,14 +331,19 @@ impl<B: QuantumBackend> QuantumBackend for FaultyBackend<B> {
         let job = self.job_index;
         self.job_index += 1;
         let mut rng = self.fault_rng(job);
+        let mut transient_rate = self.spec.transient_failure_rate;
         if self.spec.has_drift() {
             let drift_job = self.drift_offset + job;
             let (gate_scale, readout_scale) = self.cursor.scales_at(drift_job);
             self.inner.apply_drift(gate_scale, readout_scale);
+            if self.spec.failure_drift_coupling != 0.0 {
+                let s = gate_scale.max(readout_scale);
+                transient_rate *= 1.0 + self.spec.failure_drift_coupling * (s - 1.0);
+            }
         }
         // Fault rolls happen in a fixed order so the schedule is stable
         // under spec-rate changes of later faults.
-        if rng.gen_bool(self.spec.transient_failure_rate.clamp(0.0, 1.0)) {
+        if rng.gen_bool(transient_rate.clamp(0.0, 1.0)) {
             return Err(BackendError::TransientFailure {
                 job,
                 reason: "injected transient fault".into(),

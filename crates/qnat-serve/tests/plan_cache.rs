@@ -107,3 +107,44 @@ fn drifted_device_recompiles_through_serving() {
     serving.drain();
     assert_eq!(cache.misses(), 2 * n_blocks, "drift must invalidate");
 }
+
+/// The fusion plan cached inside each [`BlockPlan`] is the real thing:
+/// cache hits share one plan (no per-deployment fusion pass), and fusing
+/// a bound circuit through the cached plan is bitwise identical to a
+/// fresh structural fuse of that circuit.
+#[test]
+fn cached_fusion_plan_is_shared_and_bitwise_exact() {
+    use qnat_compiler::fusion::fuse;
+
+    let qnn = model();
+    let device = presets::santiago();
+    let cache = Arc::new(PlanCache::new());
+    let cold = qnn
+        .route_plan_cached(&device, 2, &cache)
+        .expect("cold route");
+    let warm = qnn
+        .route_plan_cached(&device, 2, &cache)
+        .expect("warm route");
+    for (bi, (a, b)) in cold.iter().zip(&warm).enumerate() {
+        assert!(
+            Arc::ptr_eq(&a.fusion, &b.fusion),
+            "block {bi}: cache hit must share the fusion plan, not rebuild it"
+        );
+        // Bind the block's template at a representative parameter point
+        // and check plan-based fusion against the one-shot path.
+        let n_params = qnn.blocks()[bi].n_enc + qnn.blocks()[bi].n_train;
+        let params: Vec<f64> = (0..n_params).map(|j| 0.1 + 0.03 * j as f64).collect();
+        let bound = a.lowered.bind(&params);
+        assert_eq!(
+            a.fusion.fuse_bound(&bound),
+            fuse(&bound),
+            "block {bi}: cached plan must fuse bitwise identically"
+        );
+    }
+    // Uncached routing builds an equivalent (but unshared) plan.
+    let fresh = qnn.route_plan(&device, 2).expect("uncached route");
+    for (a, b) in cold.iter().zip(&fresh) {
+        assert_eq!(*a.fusion, *b.fusion);
+        assert!(!Arc::ptr_eq(&a.fusion, &b.fusion));
+    }
+}

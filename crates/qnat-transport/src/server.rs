@@ -178,9 +178,10 @@ impl TransportMetrics {
     }
 }
 
-/// An extra `/healthz` section provider — the fleet router's health view
-/// when the front door sits on a fleet (see
-/// [`TransportServer::bind_with_health`]).
+/// An extra `/healthz` section provider — e.g. the fleet router's health
+/// view when the front door sits on a fleet, or the calibration
+/// tracker's per-device estimates (see
+/// [`TransportServer::bind_with_sections`]).
 pub type HealthSection = Arc<dyn Fn() -> Json + Send + Sync>;
 
 /// A running front door bound to a TCP address.
@@ -206,7 +207,7 @@ impl TransportServer {
         config: TransportConfig,
         engine: ServeEngine,
     ) -> io::Result<TransportServer> {
-        Self::bind_with_health(addr, config, engine, None)
+        Self::bind_with_sections(addr, config, engine, Vec::new())
     }
 
     /// [`TransportServer::bind`] plus an extra `/healthz` section: the
@@ -225,11 +226,36 @@ impl TransportServer {
         engine: ServeEngine,
         health_section: Option<HealthSection>,
     ) -> io::Result<TransportServer> {
+        let sections = health_section
+            .into_iter()
+            .map(|s| ("fleet".to_owned(), s))
+            .collect();
+        Self::bind_with_sections(addr, config, engine, sections)
+    }
+
+    /// [`TransportServer::bind`] plus any number of named `/healthz`
+    /// sections: each provider's document is merged into the health body
+    /// under its key, in the order given. The fleet front door pairs a
+    /// `"fleet"` section ([`wire::fleet_health_to_json`]) with a
+    /// `"calibration"` section ([`wire::calibration_health_to_json`]) so
+    /// operators see routing state and the learned drift estimates in
+    /// one probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_sections(
+        addr: &str,
+        config: TransportConfig,
+        engine: ServeEngine,
+        sections: Vec<(String, HealthSection)>,
+    ) -> io::Result<TransportServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let engine = Arc::new(engine);
         let metrics = Arc::new(TransportMetrics::default());
+        let sections: Arc<[(String, HealthSection)]> = sections.into();
 
         let (tx, rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -294,7 +320,7 @@ impl TransportServer {
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
                 let config = config.clone();
-                let health_section = health_section.clone();
+                let sections = Arc::clone(&sections);
                 let metrics = Arc::clone(&metrics);
                 std::thread::spawn(move || loop {
                     let conn = {
@@ -308,7 +334,7 @@ impl TransportServer {
                                 &engine,
                                 &config,
                                 &stop,
-                                health_section.as_ref(),
+                                &sections,
                                 &metrics,
                             );
                             metrics.active_connections.fetch_sub(1, Ordering::SeqCst);
@@ -555,7 +581,7 @@ fn handle_connection(
     engine: &ServeEngine,
     config: &TransportConfig,
     stop: &Arc<AtomicBool>,
-    health_section: Option<&HealthSection>,
+    sections: &[(String, HealthSection)],
     metrics: &TransportMetrics,
 ) {
     let Ok(read_half) = stream.try_clone() else {
@@ -624,7 +650,7 @@ fn handle_connection(
                 return;
             }
             Route::Health => {
-                handle_health(&mut stream, engine, stop, health_section, metrics, close)
+                handle_health(&mut stream, engine, stop, sections, metrics, close)
             }
             Route::MethodNotAllowed => respond(
                 &mut stream,
@@ -977,7 +1003,7 @@ fn handle_health(
     stream: &mut TcpStream,
     engine: &ServeEngine,
     stop: &AtomicBool,
-    health_section: Option<&HealthSection>,
+    sections: &[(String, HealthSection)],
     metrics: &TransportMetrics,
     close: bool,
 ) {
@@ -1034,8 +1060,10 @@ fn handle_health(
         ("transport", wire::transport_snapshot_to_json(&metrics.snapshot())),
         ("breakers", breakers),
     ]);
-    if let (Some(section), Json::Obj(map)) = (health_section, &mut body) {
-        map.insert("fleet".into(), section());
+    if let Json::Obj(map) = &mut body {
+        for (key, section) in sections {
+            map.insert(key.clone(), section());
+        }
     }
     respond(stream, metrics, 200, &body, close);
 }

@@ -14,7 +14,7 @@
 //! far beyond any ticket, job index or backoff tally this stack
 //! produces.
 
-use qnat_core::executor::{ExecutionReport, FailureRecord};
+use qnat_core::executor::{BackendUsage, ExecutionReport, FailureRecord};
 use qnat_core::health::{BreakerSnapshot, BreakerState};
 use qnat_fleet::FleetHealth;
 use qnat_json::{Json, JsonError};
@@ -382,6 +382,28 @@ fn failure_from_json(v: &Json) -> Result<FailureRecord, WireError> {
     })
 }
 
+fn backend_usage_to_json(u: &BackendUsage) -> Json {
+    Json::obj([
+        ("attempts", Json::Num(u.attempts as f64)),
+        ("retries", Json::Num(u.retries as f64)),
+        ("validation_failures", Json::Num(u.validation_failures as f64)),
+        ("fast_failed_jobs", Json::Num(u.fast_failed_jobs as f64)),
+        ("fallback_jobs", Json::Num(u.fallback_jobs as f64)),
+        ("backoff_ms", Json::Num(u.backoff_ms as f64)),
+    ])
+}
+
+fn backend_usage_from_json(v: &Json) -> Result<BackendUsage, WireError> {
+    Ok(BackendUsage {
+        attempts: usize_field(v, "attempts")?,
+        retries: usize_field(v, "retries")?,
+        validation_failures: usize_field(v, "validation_failures")?,
+        fast_failed_jobs: usize_field(v, "fast_failed_jobs")?,
+        fallback_jobs: usize_field(v, "fallback_jobs")?,
+        backoff_ms: uint(v, "backoff_ms")?,
+    })
+}
+
 /// Encodes an execution report, every counter and failure record intact.
 pub fn report_to_json(r: &ExecutionReport) -> Json {
     Json::obj([
@@ -405,6 +427,14 @@ pub fn report_to_json(r: &ExecutionReport) -> Json {
             "failures",
             Json::Arr(r.failures.iter().map(failure_to_json).collect()),
         ),
+        (
+            "by_backend",
+            obj_from(
+                r.by_backend
+                    .iter()
+                    .map(|(name, usage)| (name.clone(), backend_usage_to_json(usage))),
+            ),
+        ),
     ])
 }
 
@@ -413,6 +443,13 @@ pub fn report_from_json(v: &Json) -> Result<ExecutionReport, WireError> {
     let mut failures = Vec::new();
     for f in array(v, "failures")? {
         failures.push(failure_from_json(f)?);
+    }
+    // Lenient: peers predating per-backend attribution omit the field.
+    let mut by_backend = BTreeMap::new();
+    if let Some(Json::Obj(map)) = v.get("by_backend") {
+        for (name, usage) in map {
+            by_backend.insert(name.clone(), backend_usage_from_json(usage)?);
+        }
     }
     Ok(ExecutionReport {
         jobs: usize_field(v, "jobs")?,
@@ -426,6 +463,7 @@ pub fn report_from_json(v: &Json) -> Result<ExecutionReport, WireError> {
         total_backoff_ms: uint(v, "total_backoff_ms")?,
         shot_shortfall: usize_field(v, "shot_shortfall")?,
         failures,
+        by_backend,
     })
 }
 
@@ -592,6 +630,40 @@ pub fn fleet_health_to_json(health: &FleetHealth) -> Json {
     )
 }
 
+/// Renders the calibration tracker's health view as the `/healthz`
+/// `calibration` section: one entry per device with its error-rate
+/// estimate (null during cold start), the pessimistic routing estimate,
+/// residual EMA, window occupancy and applied-observation count, plus
+/// the tracker's global ticket progress. The snapshot-exactness test
+/// pins every field, so a field added to
+/// [`qnat_fleet::DeviceCalibrationView`] must be added here too.
+pub fn calibration_health_to_json(health: &qnat_fleet::CalibrationHealth) -> Json {
+    let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+    Json::obj([
+        (
+            "devices",
+            Json::Arr(
+                health
+                    .devices
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("name", Json::Str(d.name.clone())),
+                            ("estimate", opt(d.estimate)),
+                            ("routing_estimate", opt(d.routing_estimate)),
+                            ("residual", Json::Num(d.residual)),
+                            ("window_fill", Json::Num(d.window_fill)),
+                            ("observations", Json::Num(d.observations as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("applied", Json::Num(health.applied as f64)),
+        ("pending", Json::Num(health.pending as f64)),
+    ])
+}
+
 /// Renders the transport-level overload counters as the `/healthz`
 /// `transport` section — the observable half of the keep-alive /
 /// shedding contract (ISSUE 8). The snapshot-exactness test pins every
@@ -743,6 +815,17 @@ mod tests {
                         reason: "blip".into(),
                     },
                 }],
+                by_backend: BTreeMap::from([(
+                    "emulator(santiago)".to_string(),
+                    BackendUsage {
+                        attempts: 3,
+                        retries: 2,
+                        validation_failures: 0,
+                        fast_failed_jobs: 0,
+                        fallback_jobs: 1,
+                        backoff_ms: 17,
+                    },
+                )]),
             },
         };
         let back = outcome_from_json(

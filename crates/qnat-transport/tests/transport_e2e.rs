@@ -655,6 +655,125 @@ fn healthz_serves_the_fleet_section() {
     server.shutdown();
 }
 
+/// ISSUE 9 satellite: a front door bound with named health sections
+/// serves the calibration tracker's view under `/healthz`'s
+/// `calibration` key, and the section is an *exact* snapshot — every
+/// field of [`qnat_fleet::CalibrationHealth`] rendered through
+/// [`qnat_transport::wire::calibration_health_to_json`], nothing
+/// dropped, renamed or reformatted.
+#[test]
+fn healthz_calibration_section_is_snapshot_exact() {
+    use qnat_core::executor::ResilientExecutor as Rx;
+    use qnat_fleet::{CalibConfig, FleetConfig, FleetDevice, FleetRouter, ScorePolicy};
+    use std::sync::Arc;
+
+    let device = |m: qnat_noise::DeviceModel| {
+        FleetDevice::new(m, |_g, seed| {
+            Ok(Rx::new(
+                Box::new(SimulatorBackend::new(seed)),
+                RetryPolicy::default(),
+            ))
+        })
+    };
+    let router = Arc::new(
+        FleetRouter::new(
+            FleetConfig {
+                pilots: 1,
+                hedge: None,
+                score_policy: ScorePolicy::Predicted,
+                calibration: CalibConfig {
+                    min_observations: 4,
+                    ..CalibConfig::default()
+                },
+                ..FleetConfig::default()
+            },
+            vec![device(presets::santiago()), device(presets::lima())],
+        )
+        .expect("fleet"),
+    );
+    // Enough delivered jobs that at least one device clears the
+    // tracker's cold-start threshold (12 jobs over 2 devices → the
+    // busier one has ≥ 6 ≥ min_observations).
+    for k in 0..12 {
+        let t = router.submit(simple_job(k)).expect("submit");
+        router.wait(t).expect("delivered");
+    }
+
+    let engine = ServeEngine::new(
+        ServeConfig {
+            workers: 1,
+            seed: 11,
+            ..ServeConfig::default()
+        },
+        clean_factory(),
+    );
+    let fleet_section = {
+        let router = Arc::clone(&router);
+        Arc::new(move || qnat_transport::wire::fleet_health_to_json(&router.health()))
+            as Arc<dyn Fn() -> Json + Send + Sync>
+    };
+    let calib_section = {
+        let router = Arc::clone(&router);
+        Arc::new(move || {
+            qnat_transport::wire::calibration_health_to_json(&router.calibration_health())
+        }) as Arc<dyn Fn() -> Json + Send + Sync>
+    };
+    let server = TransportServer::bind_with_sections(
+        "127.0.0.1:0",
+        TransportConfig::default(),
+        engine,
+        vec![
+            ("fleet".to_owned(), fleet_section),
+            ("calibration".to_owned(), calib_section),
+        ],
+    )
+    .expect("bind");
+    let client = TransportClient::new(server.local_addr());
+
+    let health = client.healthz().expect("healthz");
+    // Both named sections arrive; the fleet one keeps working through
+    // the generalized bind path.
+    assert!(health.get("fleet").is_some(), "fleet section still served");
+    let calibration = health.get("calibration").expect("calibration section");
+
+    // Snapshot exactness: no fleet traffic ran since the probe, so the
+    // served section must equal a fresh render of the router's view.
+    let expected =
+        qnat_transport::wire::calibration_health_to_json(&router.calibration_health());
+    assert_eq!(calibration, &expected);
+
+    // And the view itself is live: all 12 tickets applied in order,
+    // nothing stuck in the reorder buffer, per-device rows in fleet
+    // order with the busier device past cold start.
+    assert_eq!(calibration.get("applied").and_then(Json::as_usize), Some(12));
+    assert_eq!(calibration.get("pending").and_then(Json::as_usize), Some(0));
+    let Some(Json::Arr(devices)) = calibration.get("devices") else {
+        panic!("devices is an array");
+    };
+    assert_eq!(devices.len(), 2);
+    let names: Vec<&str> = devices
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, vec![presets::santiago().name(), presets::lima().name()]);
+    let observations: usize = devices
+        .iter()
+        .filter_map(|d| d.get("observations").and_then(Json::as_usize))
+        .sum();
+    assert_eq!(observations, 12, "every delivered job is one observation");
+    assert!(
+        devices.iter().any(|d| matches!(d.get("estimate"), Some(Json::Num(_)))),
+        "the busier device must be past cold start"
+    );
+    for d in devices {
+        assert!(d.get("routing_estimate").is_some());
+        assert!(d.get("residual").and_then(Json::as_f64).is_some());
+        let fill = d.get("window_fill").and_then(Json::as_f64).expect("fill");
+        assert!((0.0..=1.0).contains(&fill));
+    }
+    server.shutdown();
+}
+
 /// ISSUE 8 satellite: the `/healthz` transport section is an exact
 /// [`TransportSnapshot`] — every counter matches the server's own
 /// metrics to the digit after a traffic mix that exercises admissions,

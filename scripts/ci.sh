@@ -26,17 +26,21 @@
 #              (three devices, the preferred one goes terminally dark
 #              mid-run; the example asserts failover keeps the
 #              completed-job count at 100% with zero refusals)
-#   7. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
+#   7. calib:  the learned-calibration suites — tracker unit tests and
+#              the calibration property pins (bitwise arrival-order
+#              invariance of the tracker, decision replay, clamped
+#              estimates under pathological report streams)
+#   8. lint:   clippy -D warnings (scripts/lint.sh; the workspace sweep
 #              includes qnat-serve's, qnat-transport's and qnat-fleet's
 #              unwrap_used walls)
-#   8. sim-bench: the simulator hot-path gate — the kernel bounds-check
+#   9. sim-bench: the simulator hot-path gate — the kernel bounds-check
 #              regression tests re-run under --release (the checks must
 #              survive optimized builds, not just debug_assert), then the
 #              gate-kernel microbench plus the fused-vs-unfused
 #              acceptance bench, which asserts fused execution of the
 #              §4.2 QNN block sustains >= 2x unfused runs/sec and writes
 #              latency percentiles to results/BENCH_sim.json
-#   9. load:   the overload-robustness gate — the socket-level chaos
+#  10. load:   the overload-robustness gate — the socket-level chaos
 #              suite (resets, slow-loris, stalls, corruption against a
 #              live server; no hung workers, no leaked connection
 #              slots), then the open-loop load harness (Poisson +
@@ -46,13 +50,19 @@
 #              the overload SLO: p99 stays flat under 429/503 shedding
 #              and the pooled keep-alive client sustains >= 2x the
 #              connection-per-call request rate
-#  10. perf:   the batch-, serve-, transport- and fleet-throughput
+#  11. perf:   the batch-, serve-, transport- and fleet-throughput
 #              acceptance benches, which assert the 4-worker pool /
 #              serving engine / HTTP front door / routed fleet beats
 #              single-threaded submission by >= 2x on a 64-job workload
 #              with real wall-clock backoff (the transport and fleet
 #              benches also write latency percentiles to
 #              results/BENCH_transport.json and results/BENCH_fleet.json)
+#  12. calib-bench: the calibration acceptance gate — drifting-fleet
+#              scenarios (RandomWalk and StepRecalibration heavy drift)
+#              asserting ScorePolicy::Predicted beats Static on
+#              accuracy-per-attempt and the learned tracker beats a
+#              frozen-preset baseline on attempt-weighted prequential
+#              Brier score; writes results/BENCH_calib.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -91,6 +101,9 @@ echo "== fleet: example smoke gate (deadlock-guarded) =="
 cargo build --release --example fleet_routing
 timeout 120 cargo run --release --example fleet_routing
 
+echo "== calib: tracker unit + property suites =="
+cargo test -q -p qnat-calib
+
 echo "== lint: scripts/lint.sh =="
 ./scripts/lint.sh
 
@@ -118,5 +131,8 @@ cargo bench -p qnat-bench --bench transport_throughput
 
 echo "== bench: fleet_routing acceptance gate =="
 cargo bench -p qnat-bench --bench fleet_routing
+
+echo "== bench: calib_tracking acceptance gate =="
+cargo bench -p qnat-bench --bench calib_tracking
 
 echo "CI OK"
