@@ -101,7 +101,13 @@ fn main() {
             .iter()
             .map(|&k| batch_std(&block1_outputs(&qnn, &emulator, &ds, k as usize)))
             .collect();
-        let target = extrapolate_std(&scales, &stds);
+        let target = match extrapolate_std(&scales, &stds) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("table4: std extrapolation failed for {}: {e}", task.name());
+                std::process::exit(1);
+            }
+        };
         let mut extrap = block1_outputs(&qnn, &emulator, &ds, 1);
         let stats = NormStats::from_batch(&extrap);
         // Match the *noise-free* per-qubit scale: divide the centered

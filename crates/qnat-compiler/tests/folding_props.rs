@@ -1,0 +1,96 @@
+//! Property tests: gate folding is a unitary identity (ISSUE 10).
+//!
+//! Folding to scale 2k+1 replaces `G` with `G·(G†·G)^k` — on the
+//! noise-free statevector simulator the folded circuit must produce the
+//! **same state** as the unfolded one, amplitude by amplitude, for every
+//! odd scale and both strategies, over random circuits drawn from the
+//! *entire* gate library (`GateKind::ALL` — including `SqrtH`/`SqrtSwap`,
+//! whose inverses are the commuting two-gate `[base, g]` pair). The
+//! noise amplification ZNE relies on exists only because real backends
+//! attach error to every *extra* gate; the logical circuit is untouched.
+
+use proptest::prelude::*;
+use qnat_compiler::folding::{fold_circuit, FoldStrategy};
+use qnat_sim::circuit::Circuit;
+use qnat_sim::gate::{Gate, GateKind};
+use qnat_sim::statevector::simulate;
+
+const N_QUBITS: usize = 3;
+
+/// A random gate of a random kind from `GateKind::ALL`, with random
+/// in-range qubits (distinct for two-qubit kinds) and random angles in
+/// the parameter slots the kind actually reads.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    (
+        0..GateKind::ALL.len(),
+        0..N_QUBITS,
+        1..N_QUBITS,
+        (-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0),
+    )
+        .prop_map(|(k, qa, d, (p0, p1, p2))| {
+            let kind = GateKind::ALL[k];
+            let qb = (qa + d) % N_QUBITS;
+            Gate {
+                kind,
+                qubits: [qa, qb],
+                params: [p0, p1, p2],
+            }
+        })
+}
+
+fn arb_circuit(max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(), 0..max_gates).prop_map(|gates| {
+        let mut c = Circuit::new(N_QUBITS);
+        c.extend(gates);
+        c
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = FoldStrategy> {
+    prop_oneof![Just(FoldStrategy::Global), Just(FoldStrategy::PerGate)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn folded_statevector_matches_unfolded(
+        circuit in arb_circuit(16),
+        scale in prop_oneof![Just(3usize), Just(5)],
+        strategy in arb_strategy(),
+    ) {
+        let folded = fold_circuit(&circuit, scale, strategy).expect("odd scale");
+        // The construction inserts at least (scale-1) inverse/forward
+        // copies of every gate; roots cost one extra gate per inverse.
+        prop_assert!(folded.len() >= circuit.len() * scale);
+        let psi = simulate(&circuit);
+        let phi = simulate(&folded);
+        for (i, (a, b)) in psi.amplitudes().iter().zip(phi.amplitudes()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, 1e-12),
+                "amp {i}: {a} unfolded vs {b} folded at {scale}x ({strategy:?}) in\n{circuit}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_identity_fold(
+        circuit in arb_circuit(16),
+        strategy in arb_strategy(),
+    ) {
+        let folded = fold_circuit(&circuit, 1, strategy).expect("scale 1");
+        prop_assert_eq!(folded.gates(), circuit.gates());
+    }
+
+    #[test]
+    fn folding_is_deterministic(
+        circuit in arb_circuit(12),
+        strategy in arb_strategy(),
+    ) {
+        // Same input → identical folded circuit, bit for bit: the sweep
+        // replay contract starts with the fold.
+        let a = fold_circuit(&circuit, 3, strategy).expect("odd scale");
+        let b = fold_circuit(&circuit, 3, strategy).expect("odd scale");
+        prop_assert_eq!(a.gates(), b.gates());
+    }
+}

@@ -167,6 +167,13 @@ impl DeviceModel {
         self.readout[q]
     }
 
+    /// Every qubit's readout confusion matrix in qubit order — the
+    /// shape `MitigatedJob::with_readout` (readout-inversion sweeps)
+    /// consumes.
+    pub fn confusions(&self) -> Vec<qnat_sim::measure::Confusion> {
+        self.readout.iter().map(|r| *r.matrix()).collect()
+    }
+
     /// Amplitude-damping probability per single-qubit gate on qubit `q`.
     pub fn amp_damping(&self, q: usize) -> f64 {
         self.amp_damping[q]
@@ -672,6 +679,15 @@ mod tests {
             .damping(0, 1e-4, 2e-4)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn confusions_walk_every_qubit_in_order() {
+        let d = toy_device();
+        let confusions = d.confusions();
+        assert_eq!(confusions.len(), 3);
+        assert_eq!(confusions[0], *ReadoutError::asymmetric(0.01, 0.02).unwrap().matrix());
+        assert_eq!(confusions[1], *ReadoutError::ideal().matrix());
     }
 
     #[test]

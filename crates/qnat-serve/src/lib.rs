@@ -22,6 +22,12 @@
 //! * [`bulk::bulk_grid_sweep`] — the §4.2 hyper-parameter grid of
 //!   [`qnat_core::sweep::SweepConfig`], served through the bulk lane so
 //!   background sweeps never starve interactive traffic.
+//! * [`mitigate::submit_mitigated`] — error-mitigation sweeps: one
+//!   logical [`mitigate::MitigatedJob`] fans out into one folded run per
+//!   noise scale on the bulk lane (seeds pinned to the repo-wide
+//!   splitmix64 schedule, so sweeps replay bitwise) and aggregates the
+//!   runs — readout inversion, then zero-noise extrapolation — into a
+//!   single mitigated result.
 //!
 //! [`Qnn::deploy_batch`]: qnat_core::model::Qnn
 
@@ -30,11 +36,16 @@
 
 pub mod bulk;
 pub mod engine;
+pub mod mitigate;
 pub mod qnn;
 
 pub use bulk::{bulk_grid_sweep, BulkSweepRecord};
 pub use engine::{
     AdmissionControl, BackpressurePolicy, EngineLoad, EngineStats, JobOutcome, Lane, LaneConfig,
     OpenAction, Poll, ServeConfig, ServeEngine, SubmitError, Ticket, WaitError,
+};
+pub use mitigate::{
+    aggregate_sweep, sub_seed, submit_mitigated, MitigatedJob, MitigatedOutcome,
+    MitigatedSubmitError, MitigatedSweep, MitigationError, ScaleRun,
 };
 pub use qnn::{DeployServing, ServeAdmission, ServingOptions, ServingQnn};

@@ -260,6 +260,20 @@ impl Extend<Gate> for Circuit {
     }
 }
 
+/// Returns a gate implementing the inverse unitary of `g`, or `None`
+/// for the two kinds with no closed-form single-gate inverse in the
+/// gate set (`SqrtH`, `SqrtSwap`). Callers that must invert those can
+/// use the commuting two-gate identity `g⁻¹ = g·base` (where
+/// `base = g²` is `H` resp. `SWAP`, self-inverse and commuting with its
+/// own square root) — the compiler's folding pass does exactly that.
+pub fn try_invert_gate(g: &Gate) -> Option<Gate> {
+    use GateKind::*;
+    match g.kind {
+        SqrtH | SqrtSwap => None,
+        _ => Some(invert_gate(g)),
+    }
+}
+
 /// Returns a gate implementing the inverse unitary of `g`.
 pub fn invert_gate(g: &Gate) -> Gate {
     use GateKind::*;
@@ -390,7 +404,14 @@ mod tests {
         for g in samples {
             let inv = invert_gate(&g);
             assert!(is_inverse_pair(&g, &inv), "inverse wrong for {g}");
+            assert_eq!(try_invert_gate(&g), Some(inv));
         }
+    }
+
+    #[test]
+    fn try_invert_declines_roots_instead_of_panicking() {
+        assert_eq!(try_invert_gate(&Gate::sqrt_h(0)), None);
+        assert_eq!(try_invert_gate(&Gate::sqrt_swap(0, 1)), None);
     }
 
     #[test]

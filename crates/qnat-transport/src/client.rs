@@ -16,11 +16,12 @@ use crate::http::{
     finish_chunks, read_response, write_chunk, write_chunked_request_head, write_request,
     HttpError, Response,
 };
-use crate::wire::{self, WireError};
+use crate::wire::{self, MitigatedResult, WireError};
 use qnat_core::batch::BatchJob;
 use qnat_json::Json;
 use qnat_noise::backend::{BackendError, Measurements};
 use qnat_serve::engine::{JobOutcome, Lane, Ticket};
+use qnat_serve::mitigate::MitigatedJob;
 use std::error::Error;
 use std::fmt;
 use std::io::BufReader;
@@ -492,6 +493,28 @@ impl TransportClient {
             })),
             None => Ok(None),
         }
+    }
+
+    /// `POST /v1/mitigate`: runs a full error-mitigation sweep
+    /// server-side — gate folding per scale, bulk-lane fan-out, readout
+    /// inversion and zero-noise extrapolation — and returns the single
+    /// aggregated result.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] carries every typed refusal with its body
+    /// preserved: 400 sweep-shape errors, 429/503 engine refusals,
+    /// 500 mitigation-math failures (degenerate fit, singular
+    /// confusion), 503/500 failed sub-runs, 504 budget exhaustion.
+    pub fn mitigate(
+        &self,
+        job: &MitigatedJob,
+        seed: u64,
+    ) -> Result<MitigatedResult, ClientError> {
+        let body = wire::mitigate_request_to_json(job, seed).to_json();
+        let resp = self.call("POST", "/v1/mitigate", body.as_bytes())?;
+        let v = Self::expect_json(&resp)?;
+        Ok(wire::mitigated_result_from_json(&v)?)
     }
 
     fn decode_status(resp: &Response) -> Result<Option<TicketStatus>, ClientError> {

@@ -640,6 +640,9 @@ fn handle_connection(
             Route::SubmitStream => {
                 handle_submit_stream(&mut stream, engine, &request, metrics, close)
             }
+            Route::Mitigate => {
+                handle_mitigate(&mut stream, engine, &request, &budget, metrics, close)
+            }
             Route::Poll(ticket) => handle_poll(&mut stream, engine, ticket, metrics, close),
             Route::Wait(ticket) => {
                 handle_wait(&mut stream, engine, &budget, ticket, metrics, close)
@@ -679,6 +682,7 @@ fn handle_connection(
 enum Route {
     Submit,
     SubmitStream,
+    Mitigate,
     Poll(Ticket),
     Wait(Ticket),
     Stream,
@@ -700,6 +704,13 @@ fn route(req: &Request) -> Route {
         "/v1/jobs/stream" => {
             return if req.method == "POST" {
                 Route::SubmitStream
+            } else {
+                Route::MethodNotAllowed
+            };
+        }
+        "/v1/mitigate" => {
+            return if req.method == "POST" {
+                Route::Mitigate
             } else {
                 Route::MethodNotAllowed
             };
@@ -848,6 +859,79 @@ fn handle_submit_stream(
         ]),
         close,
     );
+}
+
+/// The mitigated-sweep front door: one request fans out into one folded
+/// sub-run per noise scale on the bulk lane
+/// ([`qnat_serve::submit_mitigated`]), blocks on the whole sweep within
+/// the request's remaining deadline budget, and answers with the single
+/// aggregated result. Status contract: sweep-shape errors → 400, engine
+/// refusals keep the submit contract (429/503), a failed sub-run keeps
+/// its backend error's class (503/500), mitigation-math rejections →
+/// 500 with the typed body, budget exhausted → 504.
+fn handle_mitigate(
+    stream: &mut TcpStream,
+    engine: &ServeEngine,
+    req: &Request,
+    budget: &DeadlineBudget,
+    metrics: &TransportMetrics,
+    close: bool,
+) {
+    let parsed =
+        wire::parse_body(&req.body).and_then(|v| wire::mitigate_request_from_json(&v));
+    let (job, seed) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            respond(stream, metrics, 400, &error_body("bad_request", e.reason), close);
+            return;
+        }
+    };
+    let sweep = match qnat_serve::submit_mitigated(engine, &job, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            respond(
+                stream,
+                metrics,
+                wire::mitigated_submit_error_status(&e),
+                &wire::mitigated_submit_error_to_json(&e),
+                close,
+            );
+            return;
+        }
+    };
+    let window_ms = budget.remaining_ms();
+    let started = Instant::now();
+    match sweep.wait_timeout(engine, window_ms) {
+        Ok(outcome) => {
+            let elapsed = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let _ = budget.try_consume(elapsed.min(budget.remaining_ms()));
+            arm_write(stream, budget);
+            let status = match &outcome.mitigated {
+                Ok(_) => 200,
+                Err(e) => wire::mitigation_error_status(e),
+            };
+            respond(stream, metrics, status, &wire::mitigated_outcome_to_json(&outcome), close);
+        }
+        Err(WaitError::Unknown) => {
+            respond(
+                stream,
+                metrics,
+                404,
+                &Json::obj([("status", Json::Str("unknown".into()))]),
+                close,
+            );
+        }
+        Err(WaitError::Timeout { waited_ms }) => {
+            let _ = budget.try_consume(waited_ms.min(budget.remaining_ms()));
+            respond(
+                stream,
+                metrics,
+                504,
+                &error_body("deadline", "mitigated sweep not ready in budget"),
+                close,
+            );
+        }
+    }
 }
 
 /// The `{status, outcome}` body and status code for a ready outcome:

@@ -14,15 +14,21 @@
 //! far beyond any ticket, job index or backoff tally this stack
 //! produces.
 
+use qnat_compiler::folding::FoldStrategy;
 use qnat_core::executor::{BackendUsage, ExecutionReport, FailureRecord};
 use qnat_core::health::{BreakerSnapshot, BreakerState};
+use qnat_core::mitigate::{MitigateError, ZneMethod};
 use qnat_fleet::FleetHealth;
 use qnat_json::{Json, JsonError};
 use qnat_noise::backend::{BackendError, Measurements};
 use qnat_core::batch::BatchJob;
-use qnat_serve::engine::{JobOutcome, Lane, SubmitError};
+use qnat_serve::engine::{JobOutcome, Lane, SubmitError, Ticket};
+use qnat_serve::mitigate::{
+    MitigatedJob, MitigatedOutcome, MitigatedSubmitError, MitigationError,
+};
 use qnat_sim::circuit::Circuit;
 use qnat_sim::gate::{Gate, GateKind};
+use qnat_sim::measure::Confusion;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -570,6 +576,326 @@ pub fn backend_error_status(e: &BackendError) -> u16 {
     }
 }
 
+// ---- mitigation sweeps -----------------------------------------------
+
+/// Encodes a 2×2 readout confusion matrix as two number rows
+/// (`m[true][observed]`, row-stochastic).
+pub fn confusion_to_json(m: &Confusion) -> Json {
+    Json::Arr(vec![Json::nums(m[0]), Json::nums(m[1])])
+}
+
+/// Decodes a 2×2 readout confusion matrix.
+pub fn confusion_from_json(v: &Json) -> Result<Confusion, WireError> {
+    let rows = v
+        .as_array()
+        .ok_or_else(|| WireError::new("confusion matrix is not an array"))?;
+    if rows.len() != 2 {
+        return Err(WireError::new("confusion matrix needs exactly 2 rows"));
+    }
+    let mut m: Confusion = [[0.0; 2]; 2];
+    for (r, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| WireError::new("confusion row is not an array"))?;
+        if cells.len() != 2 {
+            return Err(WireError::new("confusion row needs exactly 2 entries"));
+        }
+        for (c, cell) in cells.iter().enumerate() {
+            m[r][c] = num_of(cell, "confusion entry")?;
+        }
+    }
+    Ok(m)
+}
+
+/// Builds the `POST /v1/mitigate` request body: the unfolded circuit
+/// plus the full mitigation recipe (scales, fold strategy, ZNE method,
+/// optional per-qubit readout confusions) and the sweep's replay seed.
+pub fn mitigate_request_to_json(job: &MitigatedJob, seed: u64) -> Json {
+    Json::obj([
+        ("circuit", circuit_to_json(&job.circuit)),
+        (
+            "shots",
+            job.shots.map_or(Json::Null, |s| Json::Num(s as f64)),
+        ),
+        (
+            "scales",
+            Json::Arr(job.scales.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
+        ("strategy", Json::Str(job.strategy.name().into())),
+        ("method", Json::Str(job.method.name().into())),
+        (
+            "readout",
+            match &job.readout {
+                None => Json::Null,
+                Some(r) => Json::Arr(r.iter().map(confusion_to_json).collect()),
+            },
+        ),
+        ("seed", Json::Num(seed as f64)),
+    ])
+}
+
+/// Decodes the `POST /v1/mitigate` request body. `seed` is optional on
+/// the wire and defaults to 0 — the sweep still replays bitwise, just
+/// from the default seed.
+pub fn mitigate_request_from_json(v: &Json) -> Result<(MitigatedJob, u64), WireError> {
+    let circuit = circuit_from_json(field(v, "circuit")?)?;
+    let shots = opt_usize(v, "shots")?;
+    let mut scales = Vec::new();
+    for s in array(v, "scales")? {
+        scales.push(uint_of(s, "scales")? as usize);
+    }
+    let strategy_name = string(v, "strategy")?;
+    let strategy = FoldStrategy::from_name(&strategy_name)
+        .ok_or_else(|| WireError::new(format!("unknown fold strategy '{strategy_name}'")))?;
+    let method_name = string(v, "method")?;
+    let method = ZneMethod::from_name(&method_name)
+        .ok_or_else(|| WireError::new(format!("unknown ZNE method '{method_name}'")))?;
+    let readout = match v.get("readout") {
+        None | Some(Json::Null) => None,
+        Some(r) => {
+            let rows = r
+                .as_array()
+                .ok_or_else(|| WireError::new("'readout' is not an array"))?;
+            Some(
+                rows.iter()
+                    .map(confusion_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        }
+    };
+    let seed = match v.get("seed") {
+        None | Some(Json::Null) => 0,
+        Some(other) => uint_of(other, "seed")?,
+    };
+    Ok((
+        MitigatedJob {
+            circuit,
+            shots,
+            scales,
+            strategy,
+            method,
+            readout,
+        },
+        seed,
+    ))
+}
+
+/// HTTP status a refused mitigated submission maps to: every sweep-shape
+/// error (too few / duplicate / even scales, readout length) is the
+/// caller's fault → 400; an engine refusal keeps the plain submit
+/// contract ([`submit_error_status`]: 429 queue-full, 503 shed/stopping).
+pub fn mitigated_submit_error_status(e: &MitigatedSubmitError) -> u16 {
+    match e {
+        MitigatedSubmitError::Submit(inner) => submit_error_status(inner),
+        _ => 400,
+    }
+}
+
+/// Encodes a refused mitigated submission.
+pub fn mitigated_submit_error_to_json(e: &MitigatedSubmitError) -> Json {
+    let (kind, fields): (&str, Vec<(&'static str, Json)>) = match e {
+        MitigatedSubmitError::TooFewScales { got } => (
+            "too_few_scales",
+            vec![("got", Json::Num(*got as f64))],
+        ),
+        MitigatedSubmitError::DuplicateScale { scale } => (
+            "duplicate_scale",
+            vec![("scale", Json::Num(*scale as f64))],
+        ),
+        MitigatedSubmitError::Fold(_) => ("fold", vec![]),
+        MitigatedSubmitError::ReadoutShape { expected, got } => (
+            "readout_shape",
+            vec![
+                ("expected", Json::Num(*expected as f64)),
+                ("got", Json::Num(*got as f64)),
+            ],
+        ),
+        MitigatedSubmitError::Submit(inner) => {
+            ("submit", vec![("error", submit_error_to_json(inner))])
+        }
+    };
+    let mut pairs = vec![
+        ("kind", Json::Str(kind.into())),
+        ("message", Json::Str(e.to_string())),
+    ];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// Encodes a typed mitigation-math error, preserving every variant's
+/// fields so degenerate fits and singular confusions stay diagnosable
+/// on the wire.
+pub fn mitigate_error_to_json(e: &MitigateError) -> Json {
+    let (kind, fields): (&str, Vec<(&'static str, Json)>) = match e {
+        MitigateError::NotEnoughPoints { points } => (
+            "not_enough_points",
+            vec![("points", Json::Num(*points as f64))],
+        ),
+        MitigateError::ShapeMismatch { xs, ys } => (
+            "shape_mismatch",
+            vec![
+                ("xs", Json::Num(*xs as f64)),
+                ("ys", Json::Num(*ys as f64)),
+            ],
+        ),
+        MitigateError::RaggedRow {
+            index,
+            expected,
+            got,
+        } => (
+            "ragged_row",
+            vec![
+                ("index", Json::Num(*index as f64)),
+                ("expected", Json::Num(*expected as f64)),
+                ("got", Json::Num(*got as f64)),
+            ],
+        ),
+        MitigateError::DegenerateFit { denom } => {
+            ("degenerate_fit", vec![("denom", Json::Num(*denom))])
+        }
+        MitigateError::NonFinite { what } => {
+            ("non_finite", vec![("what", Json::Str((*what).into()))])
+        }
+        MitigateError::SingularConfusion { det } => {
+            ("singular_confusion", vec![("det", Json::Num(*det))])
+        }
+    };
+    let mut pairs = vec![
+        ("kind", Json::Str(kind.into())),
+        ("message", Json::Str(e.to_string())),
+    ];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+/// HTTP status a completed-but-unaggregatable sweep maps to: a failed
+/// sub-run keeps its backend error's class
+/// ([`backend_error_status`]: 503 breaker/overload, 500 otherwise);
+/// mitigation-math rejections (degenerate fit, singular confusion) are
+/// terminal sweep failures → 500.
+pub fn mitigation_error_status(e: &MitigationError) -> u16 {
+    match e {
+        MitigationError::SubRun { error, .. } => backend_error_status(error),
+        MitigationError::Math(_) => 500,
+    }
+}
+
+/// Encodes the typed reason a completed sweep failed to aggregate.
+pub fn mitigation_error_to_json(e: &MitigationError) -> Json {
+    match e {
+        MitigationError::SubRun { scale, error } => Json::obj([
+            ("kind", Json::Str("sub_run".into())),
+            ("message", Json::Str(e.to_string())),
+            ("scale", Json::Num(*scale as f64)),
+            ("error", error_to_json(error)),
+        ]),
+        MitigationError::Math(inner) => Json::obj([
+            ("kind", Json::Str("mitigation_math".into())),
+            ("message", Json::Str(e.to_string())),
+            ("error", mitigate_error_to_json(inner)),
+        ]),
+    }
+}
+
+/// The client-side view of a mitigated sweep's 200 response: the single
+/// aggregated result plus the fan-out's observability (raw baseline,
+/// scales, tickets, merged report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigatedResult {
+    /// The zero-noise estimate.
+    pub mitigated: Measurements,
+    /// Unmitigated expectations at the smallest scale, when that run
+    /// succeeded.
+    pub raw: Option<Vec<f64>>,
+    /// The sweep's noise scales, in submission order.
+    pub scales: Vec<usize>,
+    /// The engine tickets that served the sub-runs, mirroring `scales`.
+    pub tickets: Vec<Ticket>,
+    /// The sub-run execution reports merged in scale order.
+    pub report: ExecutionReport,
+}
+
+/// Encodes a completed sweep: the aggregate (ok measurements or typed
+/// [`MitigationError`]) next to the per-scale observability.
+pub fn mitigated_outcome_to_json(o: &MitigatedOutcome) -> Json {
+    Json::obj([
+        (
+            "mitigated",
+            match &o.mitigated {
+                Ok(m) => Json::obj([("ok", measurements_to_json(m))]),
+                Err(e) => Json::obj([("err", mitigation_error_to_json(e))]),
+            },
+        ),
+        (
+            "raw",
+            match &o.raw {
+                None => Json::Null,
+                Some(zs) => Json::nums(zs.iter().copied()),
+            },
+        ),
+        (
+            "scales",
+            Json::Arr(
+                o.runs
+                    .iter()
+                    .map(|r| Json::Num(r.scale as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "tickets",
+            Json::Arr(
+                o.runs
+                    .iter()
+                    .map(|r| Json::Num(r.ticket as f64))
+                    .collect(),
+            ),
+        ),
+        ("report", report_to_json(&o.report)),
+    ])
+}
+
+/// Decodes a mitigated sweep's **success** response. A body whose
+/// `mitigated` carries `err` is a decode error here — failed sweeps
+/// travel with a non-2xx status and surface client-side as
+/// `ClientError::Status` with the typed body preserved.
+pub fn mitigated_result_from_json(v: &Json) -> Result<MitigatedResult, WireError> {
+    let mitigated = field(v, "mitigated")?;
+    let Some(ok) = mitigated.get("ok") else {
+        return Err(WireError::new(
+            "mitigated sweep response carries 'err', not 'ok'",
+        ));
+    };
+    let raw = match field(v, "raw")? {
+        Json::Null => None,
+        other => {
+            let mut zs = Vec::new();
+            for z in other
+                .as_array()
+                .ok_or_else(|| WireError::new("'raw' is not an array"))?
+            {
+                zs.push(num_of(z, "raw")?);
+            }
+            Some(zs)
+        }
+    };
+    let mut scales = Vec::new();
+    for s in array(v, "scales")? {
+        scales.push(uint_of(s, "scales")? as usize);
+    }
+    let mut tickets = Vec::new();
+    for t in array(v, "tickets")? {
+        tickets.push(uint_of(t, "tickets")? as Ticket);
+    }
+    Ok(MitigatedResult {
+        mitigated: measurements_from_json(ok)?,
+        raw,
+        scales,
+        tickets,
+        report: report_from_json(field(v, "report")?)?,
+    })
+}
+
 /// Renders a breaker state for `/healthz`.
 pub fn breaker_state_to_json(state: &BreakerState) -> Json {
     match state {
@@ -856,6 +1182,111 @@ mod tests {
             assert_eq!(back_lane, lane);
             assert_eq!(back_job.circuit.n_qubits(), 2);
         }
+    }
+
+    #[test]
+    fn mitigate_request_round_trips_bitwise() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::ry(0, 0.1 + 0.2));
+        c.push(Gate::cx(0, 1));
+        let job = MitigatedJob {
+            circuit: c,
+            shots: Some(256),
+            scales: vec![1, 3, 5],
+            strategy: FoldStrategy::Global,
+            method: ZneMethod::Richardson,
+            readout: Some(vec![[[0.97, 0.03], [0.05, 0.95]]; 2]),
+        };
+        let v = Json::parse(&mitigate_request_to_json(&job, 0xFEED).to_json()).expect("parse");
+        let (back, seed) = mitigate_request_from_json(&v).expect("decode");
+        assert_eq!(seed, 0xFEED);
+        assert_eq!(back.circuit.gates(), job.circuit.gates());
+        assert_eq!(back.shots, job.shots);
+        assert_eq!(back.scales, job.scales);
+        assert_eq!(back.strategy, job.strategy);
+        assert_eq!(back.method, job.method);
+        assert_eq!(back.readout, job.readout);
+    }
+
+    #[test]
+    fn mitigate_request_seed_defaults_to_zero() {
+        let v = Json::parse(
+            r#"{"circuit":{"n_qubits":1,"gates":[]},"shots":null,
+                "scales":[1,3],"strategy":"per_gate","method":"linear","readout":null}"#,
+        )
+        .expect("parse");
+        let (_, seed) = mitigate_request_from_json(&v).expect("decode");
+        assert_eq!(seed, 0);
+    }
+
+    #[test]
+    fn mitigated_result_round_trips() {
+        let outcome = MitigatedOutcome {
+            mitigated: Ok(Measurements {
+                expectations: vec![0.1 + 0.2, -1.0 / 3.0],
+                shots_used: Some(768),
+            }),
+            raw: Some(vec![0.29, -0.31]),
+            runs: vec![],
+            report: ExecutionReport::default(),
+        };
+        let v = Json::parse(&mitigated_outcome_to_json(&outcome).to_json()).expect("parse");
+        let back = mitigated_result_from_json(&v).expect("decode");
+        assert_eq!(back.mitigated.expectations, vec![0.1 + 0.2, -1.0 / 3.0]);
+        assert_eq!(back.mitigated.shots_used, Some(768));
+        assert_eq!(back.raw, Some(vec![0.29, -0.31]));
+        assert!(back.scales.is_empty() && back.tickets.is_empty());
+    }
+
+    #[test]
+    fn mitigation_errors_keep_their_typed_fields_on_the_wire() {
+        let math = MitigationError::Math(MitigateError::SingularConfusion { det: 1e-9 });
+        let v = mitigation_error_to_json(&math);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("mitigation_math"));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("singular_confusion")
+        );
+        assert_eq!(mitigation_error_status(&math), 500);
+
+        let sub = MitigationError::SubRun {
+            scale: 5,
+            error: BackendError::CircuitOpen {
+                backend: "qpu".into(),
+            },
+        };
+        let v = mitigation_error_to_json(&sub);
+        assert_eq!(v.get("scale").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(mitigation_error_status(&sub), 503);
+    }
+
+    #[test]
+    fn mitigated_submit_errors_map_shape_to_400_and_refusal_to_submit_contract() {
+        use qnat_compiler::folding::FoldError;
+        for e in [
+            MitigatedSubmitError::TooFewScales { got: 1 },
+            MitigatedSubmitError::DuplicateScale { scale: 3 },
+            MitigatedSubmitError::Fold(FoldError::EvenScale { scale: 2 }),
+            MitigatedSubmitError::ReadoutShape {
+                expected: 4,
+                got: 2,
+            },
+        ] {
+            assert_eq!(mitigated_submit_error_status(&e), 400, "{e}");
+        }
+        assert_eq!(
+            mitigated_submit_error_status(&MitigatedSubmitError::Submit(
+                SubmitError::QueueFull {
+                    lane: Lane::Bulk,
+                    capacity: 4
+                }
+            )),
+            429
+        );
+        assert_eq!(
+            mitigated_submit_error_status(&MitigatedSubmitError::Submit(SubmitError::Stopping)),
+            503
+        );
     }
 
     #[test]

@@ -972,3 +972,93 @@ fn pooled_client_survives_connection_caps_and_idle_reaping() {
     );
     server.shutdown();
 }
+
+/// ISSUE 10 acceptance: one `POST /v1/mitigate` fans out into one
+/// folded sub-run per noise scale on the bulk lane and comes back as a
+/// single aggregated result — and the whole sweep replays bitwise from
+/// its seed: a second server with a *different* engine seed produces
+/// identical bytes because the sub-run seeds derive from the sweep
+/// seed, not the engine's.
+#[test]
+fn mitigated_sweep_over_the_wire_replays_bitwise() {
+    let job = qnat_serve::MitigatedJob::zne(simple_job(3).circuit, None);
+    let (server_a, client_a) = serve(
+        ServeConfig {
+            workers: 2,
+            seed: 5,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    let first = client_a.mitigate(&job, 0xA11CE).expect("mitigate");
+    server_a.shutdown();
+
+    assert_eq!(first.scales, vec![1, 3, 5]);
+    assert_eq!(first.tickets.len(), 3);
+    let raw = first.raw.as_ref().expect("scale-1 run succeeded");
+    // Exact noise-free sub-runs: the extrapolation is flat, so the
+    // mitigated estimate equals the raw baseline.
+    for (m, r) in first.mitigated.expectations.iter().zip(raw) {
+        assert!((m - r).abs() < 1e-12);
+    }
+
+    let (server_b, client_b) = serve(
+        ServeConfig {
+            workers: 3,
+            seed: 999, // different engine seed — must not matter
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+    let second = client_b.mitigate(&job, 0xA11CE).expect("mitigate replay");
+    server_b.shutdown();
+    assert_eq!(second.mitigated.expectations, first.mitigated.expectations);
+    assert_eq!(second.raw, first.raw);
+}
+
+/// ISSUE 10 acceptance: degenerate sweeps surface as typed errors end
+/// to end — sweep-shape mistakes are 400s with the typed kind, and a
+/// singular readout confusion travels as a 500 whose body names the
+/// mitigation-math failure.
+#[test]
+fn mitigate_status_contract_end_to_end() {
+    let (server, client) = serve(
+        ServeConfig {
+            workers: 2,
+            seed: 5,
+            ..ServeConfig::default()
+        },
+        TransportConfig::default(),
+    );
+
+    let mut job = qnat_serve::MitigatedJob::zne(simple_job(0).circuit, None);
+    job.scales = vec![1];
+    match client.mitigate(&job, 1) {
+        Err(ClientError::Status { status: 400, body }) => {
+            assert!(body.contains("too_few_scales"), "body: {body}");
+        }
+        other => panic!("expected 400 too_few_scales, got {other:?}"),
+    }
+
+    job.scales = vec![1, 4];
+    match client.mitigate(&job, 1) {
+        Err(ClientError::Status { status: 400, body }) => {
+            assert!(body.contains("fold"), "body: {body}");
+        }
+        other => panic!("expected 400 fold error, got {other:?}"),
+    }
+
+    // A symmetric-coin confusion is singular: sub-runs succeed but the
+    // aggregation must refuse to invert it, and the refusal must reach
+    // the client as a typed 500, not a NaN result.
+    job.scales = vec![1, 3, 5];
+    job.readout = Some(vec![[[0.5, 0.5], [0.5, 0.5]]; 2]);
+    match client.mitigate(&job, 1) {
+        Err(ClientError::Status { status: 500, body }) => {
+            assert!(body.contains("mitigation_math"), "body: {body}");
+            assert!(body.contains("singular_confusion"), "body: {body}");
+        }
+        other => panic!("expected 500 singular_confusion, got {other:?}"),
+    }
+    server.shutdown();
+}

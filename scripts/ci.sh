@@ -63,6 +63,14 @@
 #              accuracy-per-attempt and the learned tracker beats a
 #              frozen-preset baseline on attempt-weighted prequential
 #              Brier score; writes results/BENCH_calib.json
+#  13. mitigate: the error-mitigation gate — the de-panicked mitigation
+#              math unit tests, the folding unitary-identity property
+#              tests, the sweep bitwise-replay property tests, and the
+#              ZNE acceptance bench, which asserts the served
+#              gate-folding sweep beats the raw noisy expectation error
+#              on the §4.2 block under Santiago emulator noise and
+#              writes arm-by-arm errors plus sweep latency percentiles
+#              to results/BENCH_zne.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -134,5 +142,13 @@ cargo bench -p qnat-bench --bench fleet_routing
 
 echo "== bench: calib_tracking acceptance gate =="
 cargo bench -p qnat-bench --bench calib_tracking
+
+echo "== mitigate: de-panicked math + folding identity + sweep replay suites =="
+cargo test -q -p qnat-core --lib mitigate::
+cargo test -q -p qnat-compiler --test folding_props
+cargo test -q -p qnat-serve --test mitigate_replay
+
+echo "== mitigate: ZNE acceptance gate =="
+cargo bench -p qnat-bench --bench zne_mitigation
 
 echo "CI OK"
